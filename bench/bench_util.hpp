@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: --quick/--full mode
+ * selection, table formatting, and the common seed.
+ *
+ * Every harness prints the paper artefact it regenerates, the
+ * configuration, our measured series, and the paper's reference
+ * values where the text states them. EXPERIMENTS.md records the
+ * comparison.
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sf::bench {
+
+/** Effort level parsed from argv. */
+enum class Effort { Quick, Default, Full };
+
+inline Effort
+parseEffort(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return Effort::Quick;
+        if (std::strcmp(argv[i], "--full") == 0)
+            return Effort::Full;
+    }
+    return Effort::Default;
+}
+
+/** Common deterministic seed for all harnesses. */
+inline constexpr std::uint64_t kSeed = 2019;
+
+/** Print the standard harness banner. */
+inline void
+banner(const char *artefact, const char *description, Effort effort)
+{
+    std::printf("==================================================="
+                "=========\n");
+    std::printf("%s: %s\n", artefact, description);
+    std::printf("effort: %s   (use --quick / --full to change)\n",
+                effort == Effort::Quick
+                    ? "quick"
+                    : (effort == Effort::Full ? "full" : "default"));
+    std::printf("==================================================="
+                "=========\n");
+}
+
+/** Print one row of right-padded cells. */
+inline void
+row(const std::vector<std::string> &cells, int width = 10)
+{
+    for (const auto &cell : cells)
+        std::printf("%-*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+/** Format helper. */
+inline std::string
+fmt(const char *format, ...)
+{
+    char buffer[128];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof buffer, format, args);
+    va_end(args);
+    return buffer;
+}
+
+} // namespace sf::bench

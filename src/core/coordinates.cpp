@@ -1,0 +1,81 @@
+#include "core/coordinates.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace sf::core {
+
+VirtualSpaces
+VirtualSpaces::generate(std::size_t num_nodes, int num_spaces,
+                        Rng &rng, CoordMode mode)
+{
+    assert(num_nodes >= 2);
+    assert(num_spaces >= 1);
+
+    VirtualSpaces vs;
+    vs.coords_.assign(num_nodes, std::vector<Coord>(
+        static_cast<std::size_t>(num_spaces), 0.0));
+
+    for (int s = 0; s < num_spaces; ++s) {
+        if (mode == CoordMode::UniformRandom) {
+            for (NodeId u = 0; u < num_nodes; ++u)
+                vs.coords_[u][s] = rng.uniform();
+        } else {
+            // Balanced: evenly spaced slots, random node-to-slot
+            // permutation. Equal arc lengths keep per-link load
+            // balanced while the permutation provides the uniform
+            // randomness of the ring order.
+            std::vector<NodeId> perm(num_nodes);
+            std::iota(perm.begin(), perm.end(), 0u);
+            rng.shuffle(perm);
+            const Coord step = 1.0 / static_cast<Coord>(num_nodes);
+            for (std::size_t slot = 0; slot < num_nodes; ++slot)
+                vs.coords_[perm[slot]][s] =
+                    static_cast<Coord>(slot) * step;
+        }
+    }
+
+    vs.rings_.resize(static_cast<std::size_t>(num_spaces));
+    vs.ringIndex_.resize(static_cast<std::size_t>(num_spaces));
+    vs.rebuildRings();
+    return vs;
+}
+
+void
+VirtualSpaces::rebuildRings()
+{
+    const std::size_t n = coords_.size();
+    for (std::size_t s = 0; s < rings_.size(); ++s) {
+        auto &ring = rings_[s];
+        ring.resize(n);
+        std::iota(ring.begin(), ring.end(), 0u);
+        std::sort(ring.begin(), ring.end(),
+                  [&](NodeId a, NodeId b) {
+                      const Coord ca = coords_[a][s];
+                      const Coord cb = coords_[b][s];
+                      // Node id breaks coordinate ties so quantised
+                      // rings stay well defined.
+                      return ca != cb ? ca < cb : a < b;
+                  });
+        auto &index = ringIndex_[s];
+        index.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            index[ring[i]] = static_cast<std::uint32_t>(i);
+    }
+}
+
+void
+VirtualSpaces::quantize(int bits)
+{
+    assert(bits >= 1 && bits <= 32);
+    const Coord levels = std::ldexp(1.0, bits);  // 2^bits
+    for (auto &node_coords : coords_) {
+        for (Coord &c : node_coords)
+            c = std::floor(c * levels) / levels;
+    }
+    rebuildRings();
+}
+
+} // namespace sf::core

@@ -1,0 +1,108 @@
+#include "core/greedy_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sf::core {
+
+Coord
+GreedyRouter::distance(NodeId u, NodeId t) const
+{
+    const VirtualSpaces &vs = data_->spaces;
+    const bool directed =
+        data_->params.linkMode == LinkMode::Unidirectional;
+    Coord best = 2.0;
+    for (int s = 0; s < vs.numSpaces(); ++s) {
+        const Coord cu = vs.coord(u, s);
+        const Coord ct = vs.coord(t, s);
+        const Coord d = directed ? clockwiseDistance(cu, ct)
+                                 : circularDistance(cu, ct);
+        if (d < best)
+            best = d;
+    }
+    return best;
+}
+
+void
+GreedyRouter::candidates(NodeId current, NodeId dest, bool widen,
+                         std::vector<LinkId> &out) const
+{
+    assert(current != dest);
+    const RoutingTable &table = tables_->table(current);
+    const Coord md_here = distance(current, dest);
+
+    // Plans per first-hop link: the best MD reachable within the
+    // table horizon through that link. A plan qualifies when its
+    // target strictly improves on this node's MD — either the
+    // one-hop neighbour itself (classic greediest) or a two-hop
+    // entry reached through it (lookahead). Forwarding along plans
+    // terminates: the plan value never increases across a hop, and
+    // the directed/symmetric ring lemma guarantees every non-
+    // destination node has a strictly improving successor, so the
+    // value strictly decreases at least every second hop (formal
+    // argument in docs/greedy_routing.md).
+    struct Ranked {
+        LinkId via;
+        NodeId node;      ///< first-hop neighbour
+        Coord oneHopMd;
+        Coord planValue;  ///< best MD in this plan
+        bool qualifies;   ///< some target strictly improves
+    };
+    // Routing tables hold at most p(p+1) entries; the candidate set
+    // is tiny, so a local vector is fine.
+    std::vector<Ranked> plans;
+    for (const TableEntry &e : table.entries()) {
+        if (e.hops != 1 || !e.usable())
+            continue;
+        if (e.node == dest) {
+            // Direct delivery always wins outright.
+            out.clear();
+            out.push_back(e.viaLink);
+            return;
+        }
+        const Coord md = distance(e.node, dest);
+        plans.push_back(
+            Ranked{e.viaLink, e.node, md, md, md < md_here});
+    }
+
+    // Two-hop lookahead: fold each two-hop entry into the plan of
+    // its first-hop link.
+    if (data_->params.twoHopTable) {
+        for (const TableEntry &e : table.entries()) {
+            if (e.hops != 2 || !e.usable())
+                continue;
+            const Coord md = distance(e.node, dest);
+            for (Ranked &plan : plans) {
+                if (plan.via != e.viaLink)
+                    continue;
+                if (md < plan.planValue)
+                    plan.planValue = md;
+                if (md < md_here)
+                    plan.qualifies = true;
+            }
+        }
+    }
+
+    std::erase_if(plans,
+                  [](const Ranked &p) { return !p.qualifies; });
+    if (plans.empty()) {
+        out.clear();
+        return;
+    }
+
+    std::sort(plans.begin(), plans.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  if (a.planValue != b.planValue)
+                      return a.planValue < b.planValue;
+                  if (a.oneHopMd != b.oneHopMd)
+                      return a.oneHopMd < b.oneHopMd;
+                  return a.node < b.node;  // deterministic ties
+              });
+
+    out.clear();
+    const std::size_t count = widen ? plans.size() : 1;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(plans[i].via);
+}
+
+} // namespace sf::core

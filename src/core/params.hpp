@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Build-time parameters of a String Figure topology.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/coordinates.hpp"
+
+namespace sf::core {
+
+/** Wire directionality (paper Section IV evaluates both). */
+enum class LinkMode {
+    /**
+     * Clockwise-only ring wires; the routing metric is the directed
+     * (clockwise) circular distance. Lower cost; the paper's default.
+     */
+    Unidirectional,
+    /** Each wire carries both directions; symmetric metric. */
+    Bidirectional,
+};
+
+/** Which spare wires exist for reconfiguration ring repair. */
+enum class RepairMode {
+    /**
+     * Only the paper's space-0 shortcuts (2-/4-hop clockwise,
+     * higher-id targets). Gating can leave ring holes in other
+     * spaces; greedy stalls are resolved by a fallback next-hop and
+     * counted.
+     */
+    ShortcutsOnly,
+    /**
+     * 2-/4-hop spare wires in every space without the id
+     * restriction, so any gating pattern with per-ring runs of 1 or
+     * 3 is repairable and the loop-freedom argument survives.
+     * Costs ~2 extra (dormant) wires per node per space. Default.
+     */
+    AllSpaces,
+};
+
+/** All knobs of the String Figure construction algorithm. */
+struct SFParams {
+    /** Number of memory nodes N (arbitrary; no power-of-two rule). */
+    std::size_t numNodes = 64;
+    /** Router ports p, excluding the terminal port. */
+    int routerPorts = 4;
+    /** Topology generation seed. */
+    std::uint64_t seed = 1;
+    LinkMode linkMode = LinkMode::Unidirectional;
+    RepairMode repairMode = RepairMode::AllSpaces;
+    /** Balanced (default) or i.i.d. uniform coordinates. */
+    CoordMode coordMode = CoordMode::Balanced;
+    /** Fabricate space-0 shortcuts (paper always does). */
+    bool buildShortcuts = true;
+    /** Use 2-hop routing-table entries as lookahead (paper: yes). */
+    bool twoHopTable = true;
+    /**
+     * Coordinate precision in bits for routing tables; 0 keeps exact
+     * double coordinates (default). The paper's hardware uses 7.
+     */
+    int coordBits = 0;
+
+    /** Number of virtual spaces L = floor(p / 2). */
+    int numSpaces() const { return routerPorts / 2; }
+};
+
+} // namespace sf::core

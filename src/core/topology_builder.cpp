@@ -1,0 +1,222 @@
+#include "core/topology_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sf::core {
+
+namespace {
+
+/** Builder working state shared by the construction steps. */
+class Builder
+{
+  public:
+    explicit Builder(const SFParams &params) : p_(params)
+    {
+        if (p_.numNodes < 5) {
+            throw std::invalid_argument(
+                "String Figure needs at least 5 nodes");
+        }
+        if (p_.routerPorts < 2) {
+            throw std::invalid_argument(
+                "String Figure needs at least 2 router ports");
+        }
+        data_.params = p_;
+        Rng rng(p_.seed);
+        data_.spaces = VirtualSpaces::generate(
+            p_.numNodes, p_.numSpaces(), rng, p_.coordMode);
+        if (p_.coordBits > 0)
+            data_.spaces.quantize(p_.coordBits);
+        data_.graph = net::Graph(p_.numNodes);
+        data_.portsUsed.assign(p_.numNodes, 0);
+    }
+
+    SFTopologyData
+    run()
+    {
+        wireRings();
+        pairFreePorts();
+        if (p_.buildShortcuts)
+            fabricateShortcuts();
+        if (p_.repairMode == RepairMode::AllSpaces)
+            fabricateRepairWires();
+        return std::move(data_);
+    }
+
+  private:
+    bool bidir() const { return p_.linkMode == LinkMode::Bidirectional; }
+
+    /**
+     * Fabricate a wire from @p a to @p b. In bidirectional mode both
+     * directions register in the inventory. Enabled wires consume
+     * one port at each endpoint.
+     */
+    LinkId
+    addWire(NodeId a, NodeId b, net::LinkKind kind, std::int16_t space,
+            bool enabled)
+    {
+        LinkId id;
+        if (bidir()) {
+            id = data_.graph.addBidirectional(a, b, kind, 1, space);
+            data_.wires.emplace(SFTopologyData::wireKey(a, b), id);
+            data_.wires.emplace(SFTopologyData::wireKey(b, a),
+                                data_.graph.link(id).pairId);
+        } else {
+            id = data_.graph.addLink(a, b, kind, 1, space);
+            data_.wires.emplace(SFTopologyData::wireKey(a, b), id);
+        }
+        data_.graph.setWireEnabled(id, enabled);
+        if (enabled) {
+            ++data_.portsUsed[a];
+            ++data_.portsUsed[b];
+        }
+        return id;
+    }
+
+    /** Step 2: wire every virtual space's coordinate ring. */
+    void
+    wireRings()
+    {
+        const int spaces = data_.spaces.numSpaces();
+        for (int s = 0; s < spaces; ++s) {
+            const auto &ring = data_.spaces.ring(s);
+            for (std::size_t i = 0; i < ring.size(); ++i) {
+                const NodeId u = ring[i];
+                const NodeId v = ring[(i + 1) % ring.size()];
+                if (u == v)
+                    continue;
+                if (data_.wireExists(u, v) ||
+                    (bidir() && data_.wireExists(v, u))) {
+                    // Adjacent in an earlier space too: the existing
+                    // wire serves this ring as well, ports stay free.
+                    ++data_.stats.dedupedRingLinks;
+                    continue;
+                }
+                addWire(u, v, net::LinkKind::Ring,
+                        static_cast<std::int16_t>(s), true);
+                ++data_.stats.ringWires;
+            }
+        }
+    }
+
+    /**
+     * Step 3: pair nodes that still have free ports, preferring the
+     * pair with the longest minimum circular distance.
+     */
+    void
+    pairFreePorts()
+    {
+        const int budget = p_.routerPorts;
+        std::vector<NodeId> free;
+        for (NodeId u = 0; u < p_.numNodes; ++u) {
+            if (data_.portsUsed[u] < budget)
+                free.push_back(u);
+        }
+
+        while (free.size() >= 2) {
+            NodeId best_a = kInvalidNode;
+            NodeId best_b = kInvalidNode;
+            Coord best_md = -1.0;
+            for (std::size_t i = 0; i < free.size(); ++i) {
+                for (std::size_t j = i + 1; j < free.size(); ++j) {
+                    const NodeId a = free[i];
+                    const NodeId b = free[j];
+                    if (data_.wireExists(a, b) ||
+                        data_.wireExists(b, a))
+                        continue;
+                    const Coord md =
+                        data_.spaces.minCircularDistance(a, b);
+                    if (md > best_md) {
+                        best_md = md;
+                        best_a = a;
+                        best_b = b;
+                    }
+                }
+            }
+            if (best_a == kInvalidNode)
+                break;  // every remaining pair is already wired
+            addWire(best_a, best_b, net::LinkKind::Pairing, -1, true);
+            ++data_.stats.pairingWires;
+            std::erase_if(free, [&](NodeId u) {
+                return data_.portsUsed[u] >= budget;
+            });
+        }
+    }
+
+    /**
+     * Step 4: fabricate the 2-/4-hop clockwise space-0 shortcuts
+     * toward higher node ids; enable the ones whose endpoints still
+     * have free ports.
+     */
+    void
+    fabricateShortcuts()
+    {
+        std::vector<LinkId> fabricated;
+        for (NodeId u = 0; u < p_.numNodes; ++u) {
+            for (const std::size_t steps : {std::size_t{2},
+                                            std::size_t{4}}) {
+                const NodeId t = data_.spaces.ringAhead(u, 0, steps);
+                if (t == u || t < u)
+                    continue;  // only toward larger node numbers
+                if (data_.wireExists(u, t) ||
+                    (bidir() && data_.wireExists(t, u)))
+                    continue;  // overlaps the basic topology
+                fabricated.push_back(addWire(
+                    u, t, net::LinkKind::Shortcut, 0, false));
+                ++data_.stats.shortcutWires;
+            }
+        }
+        // Activate shortcuts that fit in leftover port budget.
+        for (const LinkId id : fabricated) {
+            const net::Link &l = data_.graph.link(id);
+            if (data_.portsUsed[l.src] < p_.routerPorts &&
+                data_.portsUsed[l.dst] < p_.routerPorts) {
+                data_.graph.setWireEnabled(id, true);
+                ++data_.portsUsed[l.src];
+                ++data_.portsUsed[l.dst];
+                ++data_.stats.shortcutsEnabled;
+                data_.throughputShortcuts.push_back(id);
+            }
+        }
+    }
+
+    /**
+     * Step 5 (AllSpaces mode): dormant 2-/4-hop spare wires in every
+     * space, both directions of the id ordering, so ring repair
+     * works for arbitrary single- and triple-node holes.
+     */
+    void
+    fabricateRepairWires()
+    {
+        const int spaces = data_.spaces.numSpaces();
+        for (int s = 0; s < spaces; ++s) {
+            for (NodeId u = 0; u < p_.numNodes; ++u) {
+                for (const std::size_t steps : {std::size_t{2},
+                                                std::size_t{4}}) {
+                    const NodeId t =
+                        data_.spaces.ringAhead(u, s, steps);
+                    if (t == u || data_.wireExists(u, t) ||
+                        (bidir() && data_.wireExists(t, u)))
+                        continue;
+                    addWire(u, t, net::LinkKind::Repair,
+                            static_cast<std::int16_t>(s), false);
+                    ++data_.stats.repairWires;
+                }
+            }
+        }
+    }
+
+    SFParams p_;
+    SFTopologyData data_;
+};
+
+} // namespace
+
+SFTopologyData
+buildTopology(const SFParams &params)
+{
+    return Builder(params).run();
+}
+
+} // namespace sf::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The String Figure balanced random topology construction algorithm
+ * (paper Fig 4 plus shortcut generation, Fig 3(b)/(c)).
+ *
+ * Construction steps:
+ *  1. Build L = floor(p/2) virtual spaces with random coordinates.
+ *  2. Wire each space's coordinate ring (clockwise links in
+ *     unidirectional mode, paired links in bidirectional mode).
+ *     Duplicate adjacencies across spaces share one physical wire,
+ *     which frees router ports.
+ *  3. Pair remaining free ports, preferring the pair of nodes with
+ *     the longest minimum circular distance (step 4 in the paper).
+ *  4. Fabricate shortcut wires: each node to its 2- and 4-hop
+ *     clockwise space-0 ring neighbours with a larger node id, at
+ *     most two per node. Shortcuts whose endpoints still have free
+ *     ports are enabled immediately; the rest stay dormant until the
+ *     reconfiguration engine needs them.
+ *  5. In RepairMode::AllSpaces, additionally fabricate dormant 2-
+ *     and 4-hop spare wires in every space (no id restriction) so
+ *     that gating any pattern with per-ring runs of one or three
+ *     nodes can re-close every ring.
+ *
+ * A physical wire is direction-specific in unidirectional mode and a
+ * pair of opposed graph links in bidirectional mode. Wires are
+ * space-agnostic hardware: one wire can serve as the ring link of
+ * several virtual spaces at once (that is what frees ports), and a
+ * dormant spare fabricated for one space can repair another.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coordinates.hpp"
+#include "core/params.hpp"
+#include "net/graph.hpp"
+
+namespace sf::core {
+
+/** Everything the builder produces about one topology instance. */
+struct SFTopologyData {
+    SFParams params;
+    VirtualSpaces spaces;
+    net::Graph graph;
+
+    /**
+     * Directed wire inventory: key (from << 32 | to) -> link id of
+     * the from->to graph link. Bidirectional wires appear under both
+     * directions. Covers ring, pairing, shortcut, and repair wires,
+     * enabled or dormant.
+     */
+    std::unordered_map<std::uint64_t, LinkId> wires;
+
+    /** Ports in use per node (enabled incident wire endpoints). */
+    std::vector<int> portsUsed;
+
+    /**
+     * Canonical link ids of shortcuts activated at build time for
+     * extra throughput (leftover ports); the reconfiguration engine
+     * re-enables them whenever both endpoints are live.
+     */
+    std::vector<LinkId> throughputShortcuts;
+
+    /** Build statistics for reporting and tests. */
+    struct Stats {
+        std::size_t ringWires = 0;        ///< distinct ring wires
+        std::size_t dedupedRingLinks = 0; ///< adjacencies sharing a wire
+        std::size_t pairingWires = 0;
+        std::size_t shortcutWires = 0;    ///< fabricated shortcuts
+        std::size_t shortcutsEnabled = 0; ///< active at build time
+        std::size_t repairWires = 0;      ///< extra AllSpaces spares
+    } stats;
+
+    /** Wire lookup key. */
+    static std::uint64_t
+    wireKey(NodeId from, NodeId to)
+    {
+        return (static_cast<std::uint64_t>(from) << 32) | to;
+    }
+
+    /**
+     * Link id of the fabricated wire from @p a to @p b (enabled or
+     * dormant), or kInvalidLink if no such wire exists.
+     */
+    LinkId
+    findWire(NodeId a, NodeId b) const
+    {
+        const auto it = wires.find(wireKey(a, b));
+        return it == wires.end() ? kInvalidLink : it->second;
+    }
+
+    /** True when a wire a->b (or the shared b->a pair) exists. */
+    bool
+    wireExists(NodeId a, NodeId b) const
+    {
+        return findWire(a, b) != kInvalidLink;
+    }
+
+    /** Router port budget per node. */
+    int portBudget() const { return params.routerPorts; }
+};
+
+/** Run the construction algorithm. */
+SFTopologyData buildTopology(const SFParams &params);
+
+} // namespace sf::core

@@ -1,0 +1,54 @@
+#include "mem/power_manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sf::mem {
+
+void
+PowerManager::tick(Cycle now)
+{
+    if (target_ == SIZE_MAX || now < nextAllowed_ || settled())
+        return;
+    auto &reconfig = topo_->reconfig();
+
+    if (reconfig.numAlive() > target_) {
+        // Scale down: find a quiescent, repairable victim.
+        std::vector<NodeId> order(topo_->numNodes());
+        std::iota(order.begin(), order.end(), 0u);
+        rng_.shuffle(order);
+        for (const NodeId u : order) {
+            if (!protected_.empty() && protected_[u])
+                continue;
+            if (!reconfig.alive(u) || !reconfig.canGate(u) ||
+                !net_->nodeQuiescent(u))
+                continue;
+            topo_->gate(u);
+            net_->onTopologyChanged();
+            gated_.push_back(u);
+            transitionCycles_ += params_.sleepCycles();
+            ++ops_;
+            nextAllowed_ = now + params_.granularityCycles();
+            return;
+        }
+        // No victim this window; retry shortly rather than spinning
+        // the search every cycle.
+        nextAllowed_ = now + 64;
+    } else {
+        // Scale up: wake the most recently gated node (LIFO keeps
+        // ring-repair nesting simple).
+        if (gated_.empty()) {
+            target_ = reconfig.numAlive();
+            return;
+        }
+        const NodeId u = gated_.back();
+        gated_.pop_back();
+        topo_->ungate(u);
+        net_->onTopologyChanged();
+        transitionCycles_ += params_.wakeCycles();
+        ++ops_;
+        nextAllowed_ = now + params_.granularityCycles();
+    }
+}
+
+} // namespace sf::mem

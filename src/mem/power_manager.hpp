@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memory-network power management (paper Sections III-C and VI).
+ *
+ * The power manager dynamically gates memory nodes to a target live
+ * count. It follows the paper's constraints:
+ *  - reconfigurations are rate-limited by the reconfiguration
+ *    granularity (minimum 100 us between operations);
+ *  - a victim is gated only when quiescent (the blocking phase of
+ *    the atomic protocol: no traffic buffered at or in flight to
+ *    it) and only when every ring it sits on can be re-closed;
+ *  - gating charges the link sleep latency (680 ns) and ungating
+ *    the wake-up latency (5 us) as unavailability windows.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/string_figure.hpp"
+#include "mem/dram_timing.hpp"
+#include "net/rng.hpp"
+#include "sim/network.hpp"
+
+namespace sf::mem {
+
+/** Power-management timing constants (paper Section VI). */
+struct PowerParams {
+    double sleepLatencyNs = 680.0;
+    double wakeLatencyNs = 5000.0;
+    double reconfigGranularityNs = 100000.0;  ///< 100 us
+
+    Cycle
+    sleepCycles() const
+    {
+        return DramTiming::toCycles(sleepLatencyNs);
+    }
+    Cycle
+    wakeCycles() const
+    {
+        return DramTiming::toCycles(wakeLatencyNs);
+    }
+    Cycle
+    granularityCycles() const
+    {
+        return DramTiming::toCycles(reconfigGranularityNs);
+    }
+};
+
+/** Drives dynamic scale changes of a StringFigure network. */
+class PowerManager
+{
+  public:
+    PowerManager(core::StringFigure &topo, sim::NetworkModel &net,
+                 const PowerParams &params = {},
+                 std::uint64_t seed = 1)
+        : topo_(&topo), net_(&net), params_(params), rng_(seed)
+    {
+    }
+
+    /** Ask for @p live_target live nodes (gating or waking). */
+    void setTarget(std::size_t live_target)
+    {
+        target_ = live_target;
+    }
+
+    /** Nodes never selected as victims (socket attachments). */
+    void
+    setProtected(const std::vector<NodeId> &nodes)
+    {
+        protected_.assign(topo_->numNodes(), false);
+        for (const NodeId u : nodes)
+            protected_[u] = true;
+    }
+
+    /**
+     * Advance power management by one cycle: at most one gate or
+     * ungate per reconfiguration-granularity window, victims must
+     * be quiescent and repairable.
+     */
+    void tick(Cycle now);
+
+    /** Nodes gated so far, most recent last. */
+    const std::vector<NodeId> &gatedNodes() const { return gated_; }
+
+    /** Cumulative cycles spent in sleep/wake transitions. */
+    Cycle transitionCycles() const { return transitionCycles_; }
+
+    /** Reconfiguration operations performed. */
+    std::uint64_t reconfigOps() const { return ops_; }
+
+    /** True once the live count matches the target. */
+    bool
+    settled() const
+    {
+        return topo_->reconfig().numAlive() == target_;
+    }
+
+  private:
+    core::StringFigure *topo_;
+    sim::NetworkModel *net_;
+    PowerParams params_;
+    Rng rng_;
+    std::size_t target_ = SIZE_MAX;
+    std::vector<NodeId> gated_;
+    std::vector<bool> protected_;
+    Cycle nextAllowed_ = 0;
+    Cycle transitionCycles_ = 0;
+    std::uint64_t ops_ = 0;
+};
+
+} // namespace sf::mem

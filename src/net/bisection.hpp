@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Empirical bisection bandwidth via max-flow over random partitions.
+ *
+ * The paper equalises topologies by bisection bandwidth: for random
+ * topologies (String Figure, S2) it computes the maximum flow between
+ * two random halves of the node set, takes the minimum over 50 random
+ * partitions, and averages the result over 20 generated topologies
+ * (Section V, "Bisection bandwidth"). This module reproduces that
+ * methodology with a Dinic max-flow solver; each enabled directed
+ * link carries unit capacity.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+
+namespace sf::net {
+
+/**
+ * Max flow between node sets @p sources and @p sinks with unit link
+ * capacities (Dinic's algorithm on a super-source/super-sink
+ * augmented graph).
+ */
+std::uint64_t maxFlow(const Graph &g,
+                      const std::vector<NodeId> &sources,
+                      const std::vector<NodeId> &sinks);
+
+/**
+ * Empirical minimum bisection bandwidth of one topology instance:
+ * the minimum max-flow over @p partitions random balanced splits.
+ *
+ * @param rng Source of randomness for the partitions.
+ */
+std::uint64_t minBisectionBandwidth(const Graph &g, Rng &rng,
+                                    int partitions = 50);
+
+} // namespace sf::net

@@ -1,0 +1,25 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sf::net {
+
+std::string
+Graph::summary() const
+{
+    std::size_t min_deg = numNodes() ? SIZE_MAX : 0;
+    std::size_t max_deg = 0;
+    for (NodeId u = 0; u < numNodes(); ++u) {
+        const std::size_t d = degreeOut(u);
+        min_deg = std::min(min_deg, d);
+        max_deg = std::max(max_deg, d);
+    }
+    std::ostringstream os;
+    os << "Graph{nodes=" << numNodes()
+       << ", links=" << numEnabledLinks() << "/" << numLinks()
+       << ", out-degree=[" << min_deg << "," << max_deg << "]}";
+    return os.str();
+}
+
+} // namespace sf::net

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Directed multigraph with per-link metadata.
+ *
+ * Every network topology in this library is lowered to a Graph:
+ * nodes are routers (one per memory node) and links are directed
+ * point-to-point channels. Bidirectional wires are represented as a
+ * pair of opposed directed links sharing a @c pairId. Links carry a
+ * latency (cycles), an enable flag (driven by the reconfiguration
+ * engine / topology switch), and a user tag identifying their origin
+ * (ring link, pairing link, shortcut, ...).
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace sf::net {
+
+/** Classification of how a link came to exist in a topology. */
+enum class LinkKind : std::uint8_t {
+    Ring,       ///< Ring link in one virtual space (or mesh/FB base).
+    Pairing,    ///< Free-port pairing link (builder step 4).
+    Shortcut,   ///< Pre-fabricated spare wire (2-/4-hop shortcut).
+    Repair,     ///< Ring-repair wire enabled when a node is gated.
+    Express,    ///< Extra parallel channel (ODM link duplication).
+    Local,      ///< Processor/terminal attachment.
+};
+
+/** A directed point-to-point channel between two routers. */
+struct Link {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Propagation latency in network cycles (>= 1). */
+    std::uint32_t latency = 1;
+    /** Opposed link of a bidirectional pair, or kInvalidLink. */
+    LinkId pairId = kInvalidLink;
+    LinkKind kind = LinkKind::Ring;
+    /** Virtual space the link belongs to (or -1 if none). */
+    std::int16_t space = -1;
+    /** Live? Disabled links are invisible to routing and paths. */
+    bool enabled = true;
+};
+
+/** Directed multigraph of routers and channels. */
+class Graph
+{
+  public:
+    /** Create a graph with @p n nodes and no links. */
+    explicit Graph(std::size_t n = 0) : outAdj_(n), inAdj_(n) {}
+
+    /** Number of nodes. */
+    std::size_t numNodes() const { return outAdj_.size(); }
+
+    /** Number of links ever added (enabled or not). */
+    std::size_t numLinks() const { return links_.size(); }
+
+    /**
+     * Add one directed link.
+     *
+     * @return The id of the new link.
+     */
+    LinkId
+    addLink(NodeId src, NodeId dst, LinkKind kind = LinkKind::Ring,
+            std::uint32_t latency = 1, std::int16_t space = -1)
+    {
+        assert(src < numNodes() && dst < numNodes());
+        const LinkId id = static_cast<LinkId>(links_.size());
+        links_.push_back(Link{src, dst, latency, kInvalidLink, kind,
+                              space, true});
+        outAdj_[src].push_back(id);
+        inAdj_[dst].push_back(id);
+        return id;
+    }
+
+    /**
+     * Add a bidirectional wire as two opposed directed links.
+     *
+     * @return The id of the forward (u -> v) link; the backward link
+     *         is its pairId.
+     */
+    LinkId
+    addBidirectional(NodeId u, NodeId v,
+                     LinkKind kind = LinkKind::Ring,
+                     std::uint32_t latency = 1, std::int16_t space = -1)
+    {
+        const LinkId fwd = addLink(u, v, kind, latency, space);
+        const LinkId bwd = addLink(v, u, kind, latency, space);
+        links_[fwd].pairId = bwd;
+        links_[bwd].pairId = fwd;
+        return fwd;
+    }
+
+    /** Access a link record. */
+    const Link &link(LinkId id) const { return links_[id]; }
+
+    /** Mutable link access (latency/enable updates). */
+    Link &link(LinkId id) { return links_[id]; }
+
+    /** Enable or disable a link (and not its pair). */
+    void setEnabled(LinkId id, bool on) { links_[id].enabled = on; }
+
+    /**
+     * Enable or disable a link together with its paired reverse
+     * direction, if any.
+     */
+    void
+    setWireEnabled(LinkId id, bool on)
+    {
+        links_[id].enabled = on;
+        if (links_[id].pairId != kInvalidLink)
+            links_[links_[id].pairId].enabled = on;
+    }
+
+    /** Ids of links leaving @p u (including disabled ones). */
+    const std::vector<LinkId> &outLinks(NodeId u) const
+    {
+        return outAdj_[u];
+    }
+
+    /** Ids of links entering @p u (including disabled ones). */
+    const std::vector<LinkId> &inLinks(NodeId u) const
+    {
+        return inAdj_[u];
+    }
+
+    /** Enabled out-neighbours of @p u (dst of each enabled link). */
+    std::vector<NodeId>
+    neighborsOut(NodeId u) const
+    {
+        std::vector<NodeId> result;
+        result.reserve(outAdj_[u].size());
+        for (LinkId id : outAdj_[u]) {
+            if (links_[id].enabled)
+                result.push_back(links_[id].dst);
+        }
+        return result;
+    }
+
+    /** Out-degree of @p u counting only enabled links. */
+    std::size_t
+    degreeOut(NodeId u) const
+    {
+        std::size_t d = 0;
+        for (LinkId id : outAdj_[u])
+            d += links_[id].enabled ? 1 : 0;
+        return d;
+    }
+
+    /** In-degree of @p u counting only enabled links. */
+    std::size_t
+    degreeIn(NodeId u) const
+    {
+        std::size_t d = 0;
+        for (LinkId id : inAdj_[u])
+            d += links_[id].enabled ? 1 : 0;
+        return d;
+    }
+
+    /** Number of enabled links in the whole graph. */
+    std::size_t
+    numEnabledLinks() const
+    {
+        std::size_t n = 0;
+        for (const Link &l : links_)
+            n += l.enabled ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * Find an enabled link u -> v.
+     *
+     * @return Its id, or kInvalidLink if absent.
+     */
+    LinkId
+    findLink(NodeId u, NodeId v) const
+    {
+        for (LinkId id : outAdj_[u]) {
+            if (links_[id].enabled && links_[id].dst == v)
+                return id;
+        }
+        return kInvalidLink;
+    }
+
+    /** Human-readable summary (node/link counts, degree range). */
+    std::string summary() const;
+
+  private:
+    std::vector<Link> links_;
+    std::vector<std::vector<LinkId>> outAdj_;
+    std::vector<std::vector<LinkId>> inAdj_;
+};
+
+} // namespace sf::net

@@ -1,0 +1,144 @@
+#include "net/paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sf::net {
+
+std::vector<std::uint16_t>
+bfsDistances(const Graph &g, NodeId src,
+             const std::vector<bool> &restrict_to)
+{
+    const std::size_t n = g.numNodes();
+    std::vector<std::uint16_t> dist(n, kUnreachable);
+    if (!restrict_to.empty() && !restrict_to[src])
+        return dist;
+
+    std::vector<NodeId> queue;
+    queue.reserve(n);
+    queue.push_back(src);
+    dist[src] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const NodeId u = queue[head];
+        const std::uint16_t du = dist[u];
+        for (LinkId id : g.outLinks(u)) {
+            const Link &l = g.link(id);
+            if (!l.enabled)
+                continue;
+            const NodeId v = l.dst;
+            if (!restrict_to.empty() && !restrict_to[v])
+                continue;
+            if (dist[v] == kUnreachable) {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+PathStats
+allPairsStats(const Graph &g, const std::vector<bool> &alive)
+{
+    const std::size_t n = g.numNodes();
+    PathStats stats;
+    // Histogram over hop counts; diameters here are tiny (< 200).
+    std::vector<std::size_t> histogram(256, 0);
+    double sum = 0.0;
+
+    for (NodeId src = 0; src < n; ++src) {
+        if (!alive.empty() && !alive[src])
+            continue;
+        const auto dist = bfsDistances(g, src, alive);
+        for (NodeId dst = 0; dst < n; ++dst) {
+            if (dst == src || (!alive.empty() && !alive[dst]))
+                continue;
+            if (dist[dst] == kUnreachable) {
+                ++stats.unreachablePairs;
+                continue;
+            }
+            ++stats.reachablePairs;
+            sum += dist[dst];
+            stats.diameter = std::max(stats.diameter, dist[dst]);
+            if (dist[dst] < histogram.size())
+                ++histogram[dist[dst]];
+        }
+    }
+
+    if (stats.reachablePairs > 0) {
+        stats.average = sum / static_cast<double>(stats.reachablePairs);
+        const auto pct = [&](double q) -> std::uint16_t {
+            const auto target = static_cast<std::size_t>(
+                q * static_cast<double>(stats.reachablePairs - 1));
+            std::size_t seen = 0;
+            for (std::size_t h = 0; h < histogram.size(); ++h) {
+                seen += histogram[h];
+                if (seen > target)
+                    return static_cast<std::uint16_t>(h);
+            }
+            return stats.diameter;
+        };
+        stats.p10 = pct(0.10);
+        stats.p90 = pct(0.90);
+    }
+    return stats;
+}
+
+std::vector<std::uint16_t>
+distanceTable(const Graph &g)
+{
+    const std::size_t n = g.numNodes();
+    std::vector<std::uint16_t> table;
+    table.reserve(n * n);
+    for (NodeId src = 0; src < n; ++src) {
+        const auto row = bfsDistances(g, src);
+        table.insert(table.end(), row.begin(), row.end());
+    }
+    return table;
+}
+
+bool
+stronglyConnected(const Graph &g, const std::vector<bool> &alive)
+{
+    const std::size_t n = g.numNodes();
+    std::size_t live_count = 0;
+    NodeId first_alive = kInvalidNode;
+    for (NodeId u = 0; u < n; ++u) {
+        if (alive.empty() || alive[u]) {
+            ++live_count;
+            if (first_alive == kInvalidNode)
+                first_alive = u;
+        }
+    }
+    if (live_count <= 1)
+        return true;
+
+    // Forward reachability from one live node...
+    const auto fwd = bfsDistances(g, first_alive, alive);
+    std::size_t reached = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        if ((alive.empty() || alive[u]) && fwd[u] != kUnreachable)
+            ++reached;
+    }
+    if (reached != live_count)
+        return false;
+
+    // ...and from every live node back to it (cheap early-exit scan
+    // would be O(n^2); instead BFS the reversed graph).
+    Graph reversed(n);
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        const Link &l = g.link(id);
+        if (l.enabled)
+            reversed.addLink(l.dst, l.src, l.kind, l.latency, l.space);
+    }
+    const auto bwd = bfsDistances(reversed, first_alive, alive);
+    reached = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        if ((alive.empty() || alive[u]) && bwd[u] != kUnreachable)
+            ++reached;
+    }
+    return reached == live_count;
+}
+
+} // namespace sf::net

@@ -1,0 +1,96 @@
+#include "net/placement.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sf::net {
+
+namespace {
+
+std::int32_t
+gridColumns(std::size_t n)
+{
+    return static_cast<std::int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+}
+
+} // namespace
+
+Placement
+Placement::rowMajor(std::size_t n)
+{
+    Placement p;
+    p.cols_ = gridColumns(n);
+    p.pos_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p.pos_[i] = GridPos{static_cast<std::int32_t>(i) % p.cols_,
+                            static_cast<std::int32_t>(i) / p.cols_};
+    }
+    return p;
+}
+
+Placement
+Placement::snakeOrder(const std::vector<NodeId> &order)
+{
+    const std::size_t n = order.size();
+    Placement p;
+    p.cols_ = gridColumns(n);
+    p.pos_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t row = static_cast<std::int32_t>(i) / p.cols_;
+        std::int32_t col = static_cast<std::int32_t>(i) % p.cols_;
+        if (row % 2 == 1)
+            col = p.cols_ - 1 - col;  // snake: odd rows run backwards
+        assert(order[i] < n);
+        p.pos_[order[i]] = GridPos{col, row};
+    }
+    return p;
+}
+
+double
+Placement::shortLinkFraction(const Graph &g, std::uint32_t span) const
+{
+    std::size_t total = 0;
+    std::size_t short_links = 0;
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        const Link &l = g.link(id);
+        if (!l.enabled)
+            continue;
+        ++total;
+        if (wireLength(l.src, l.dst) <= span)
+            ++short_links;
+    }
+    return total ? static_cast<double>(short_links) /
+                   static_cast<double>(total)
+                 : 1.0;
+}
+
+double
+Placement::averageWireLength(const Graph &g) const
+{
+    std::size_t total = 0;
+    double sum = 0.0;
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        const Link &l = g.link(id);
+        if (!l.enabled)
+            continue;
+        ++total;
+        sum += wireLength(l.src, l.dst);
+    }
+    return total ? sum / static_cast<double>(total) : 0.0;
+}
+
+void
+applyPlacementLatency(Graph &g, const Placement &placement,
+                      std::uint32_t span)
+{
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        Link &l = g.link(id);
+        l.latency = placement.linkLatency(l.src, l.dst, span);
+    }
+}
+
+} // namespace sf::net

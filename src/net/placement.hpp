@@ -1,0 +1,93 @@
+/**
+ * @file
+ * 2D grid placement of memory nodes and wire-length modelling.
+ *
+ * The paper places memory nodes on a PCB/interposer as a 2D grid and
+ * adds one extra hop of latency per wire length of ten grid units
+ * (Section IV, "Physical Implementation"). Placement quality matters:
+ * String Figure prioritises placing one- and two-hop neighbours close
+ * together (within ten grid units). This module provides row-major
+ * placement, an order-driven placement (callers order nodes by their
+ * space-0 coordinate to cluster ring neighbours, the MetaCube-style
+ * layout), and latency annotation of a Graph from the placement.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace sf::net {
+
+/** Position of a node on the placement grid. */
+struct GridPos {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+};
+
+/** Assignment of every node to a grid coordinate. */
+class Placement
+{
+  public:
+    /** Row-major placement of @p n nodes on a near-square grid. */
+    static Placement rowMajor(std::size_t n);
+
+    /**
+     * Snake-order placement following @p order: consecutive entries
+     * of @p order land on adjacent grid cells (rows alternate
+     * direction), so ring neighbours stay physically close when
+     * @p order sorts nodes by their space-0 coordinate.
+     */
+    static Placement snakeOrder(const std::vector<NodeId> &order);
+
+    /** Grid position of @p u. */
+    GridPos pos(NodeId u) const { return pos_[u]; }
+
+    /** Number of placed nodes. */
+    std::size_t numNodes() const { return pos_.size(); }
+
+    /** Grid side length (columns). */
+    std::int32_t columns() const { return cols_; }
+
+    /** Manhattan wire length between two nodes, in grid units. */
+    std::uint32_t
+    wireLength(NodeId u, NodeId v) const
+    {
+        const GridPos a = pos_[u];
+        const GridPos b = pos_[v];
+        return static_cast<std::uint32_t>(
+            std::abs(a.x - b.x) + std::abs(a.y - b.y));
+    }
+
+    /**
+     * Link latency in cycles from wire length: one base cycle plus
+     * one extra hop per @p span grid units of wire (paper: span 10).
+     */
+    std::uint32_t
+    linkLatency(NodeId u, NodeId v, std::uint32_t span = 10) const
+    {
+        return 1 + wireLength(u, v) / span;
+    }
+
+    /** Fraction of enabled links no longer than @p span grid units. */
+    double shortLinkFraction(const Graph &g,
+                             std::uint32_t span = 10) const;
+
+    /** Average wire length over enabled links, in grid units. */
+    double averageWireLength(const Graph &g) const;
+
+  private:
+    std::vector<GridPos> pos_;
+    std::int32_t cols_ = 0;
+};
+
+/**
+ * Overwrite every link's latency in @p g from the placement
+ * (1 cycle + 1 per ten grid units of Manhattan wire length).
+ */
+void applyPlacementLatency(Graph &g, const Placement &placement,
+                           std::uint32_t span = 10);
+
+} // namespace sf::net

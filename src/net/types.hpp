@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental identifier types shared across the String Figure
+ * libraries.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace sf {
+
+/** Identifier of a memory node (and of its integrated router). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a directed link in a network graph. */
+using LinkId = std::int32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no link". */
+inline constexpr LinkId kInvalidLink = -1;
+
+/** Simulator time, measured in network-clock cycles. */
+using Cycle = std::uint64_t;
+
+} // namespace sf

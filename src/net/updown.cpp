@@ -1,0 +1,134 @@
+#include "net/updown.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "net/paths.hpp"
+
+namespace sf::net {
+
+namespace {
+
+constexpr std::uint32_t kInf =
+    std::numeric_limits<std::uint32_t>::max();
+
+} // namespace
+
+UpDownRouting::UpDownRouting(const Graph &g,
+                             const std::vector<bool> &alive)
+    : n_(g.numNodes())
+{
+    const auto is_alive = [&](NodeId u) {
+        return alive.empty() || alive[u];
+    };
+
+    // Tree levels: BFS from the first live node over the enabled
+    // links treated as undirected (the escape network only needs a
+    // consistent ordering, not direction-specific reachability).
+    Graph undirected(n_);
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        const Link &l = g.link(id);
+        if (l.enabled && is_alive(l.src) && is_alive(l.dst)) {
+            undirected.addLink(l.src, l.dst);
+            undirected.addLink(l.dst, l.src);
+        }
+    }
+    NodeId root = kInvalidNode;
+    for (NodeId u = 0; u < n_ && root == kInvalidNode; ++u) {
+        if (is_alive(u))
+            root = u;
+    }
+    level_.assign(n_, kUnreachable);
+    if (root != kInvalidNode)
+        level_ = bfsDistances(undirected, root);
+
+    // Link classification: "up" strictly ascends (level, id).
+    isUp_.assign(g.numLinks(), false);
+    for (LinkId id = 0;
+         id < static_cast<LinkId>(g.numLinks()); ++id) {
+        const Link &l = g.link(id);
+        isUp_[id] = std::pair(level_[l.dst], l.dst) <
+                    std::pair(level_[l.src], l.src);
+    }
+
+    // Node processing order for the up-phase DP: ascending (level,
+    // id), so every up link's target is processed before its source.
+    std::vector<NodeId> order(n_);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return std::pair(level_[a], a) < std::pair(level_[b], b);
+    });
+
+    nextUpPhase_.assign(n_ * n_, kInvalidLink);
+    nextDownPhase_.assign(n_ * n_, kInvalidLink);
+    std::vector<std::uint32_t> d_down(n_);
+    std::vector<std::uint32_t> d_any(n_);
+
+    for (NodeId t = 0; t < n_; ++t) {
+        if (!is_alive(t))
+            continue;
+        // Down-phase distances: BFS from t over reversed down links.
+        std::fill(d_down.begin(), d_down.end(), kInf);
+        d_down[t] = 0;
+        std::vector<NodeId> queue{t};
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const NodeId v = queue[head];
+            for (LinkId id : g.inLinks(v)) {
+                const Link &l = g.link(id);
+                if (!l.enabled || isUp_[id] || !is_alive(l.src))
+                    continue;
+                if (d_down[l.src] == kInf) {
+                    d_down[l.src] = d_down[v] + 1;
+                    queue.push_back(l.src);
+                }
+            }
+        }
+        for (NodeId u = 0; u < n_; ++u) {
+            if (d_down[u] == kInf || u == t || !is_alive(u))
+                continue;
+            for (LinkId id : g.outLinks(u)) {
+                const Link &l = g.link(id);
+                if (l.enabled && !isUp_[id] && is_alive(l.dst) &&
+                    d_down[l.dst] + 1 == d_down[u]) {
+                    nextDownPhase_[u * n_ + t] = id;
+                    break;
+                }
+            }
+        }
+
+        // Up-phase DP in ascending (level, id) order: an up link's
+        // destination always precedes its source, so d_any of the
+        // target is final when the source is processed.
+        std::copy(d_down.begin(), d_down.end(), d_any.begin());
+        for (NodeId u : order) {
+            if (u == t || !is_alive(u))
+                continue;
+            LinkId best_link = nextDownPhase_[u * n_ + t];
+            for (LinkId id : g.outLinks(u)) {
+                const Link &l = g.link(id);
+                if (!l.enabled || !isUp_[id] || !is_alive(l.dst))
+                    continue;
+                if (d_any[l.dst] != kInf &&
+                    d_any[l.dst] + 1 < d_any[u]) {
+                    d_any[u] = d_any[l.dst] + 1;
+                    best_link = id;
+                }
+            }
+            nextUpPhase_[u * n_ + t] = best_link;
+        }
+    }
+}
+
+LinkId
+UpDownRouting::nextLink(NodeId u, NodeId dest,
+                        bool up_phase_allowed) const
+{
+    if (u == dest)
+        return kInvalidLink;
+    return up_phase_allowed ? nextUpPhase_[u * n_ + dest]
+                            : nextDownPhase_[u * n_ + dest];
+}
+
+} // namespace sf::net

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Up*-down* escape routing (Autonet-style).
+ *
+ * The simulator gives every network one escape virtual channel on
+ * which packets follow up*-down* routes: links are classified "up"
+ * (toward a BFS root) or "down", and a legal route takes zero or
+ * more up links followed by zero or more down links. Because the
+ * up-phase strictly ascends the tree ordering and the down-phase
+ * strictly descends it, the channel dependency graph on the escape
+ * VC is acyclic, so packets on it always drain — a topology-agnostic
+ * deadlock safety net (Duato's protocol). A packet that waits too
+ * long on its normal VC transfers to the escape VC and stays there.
+ *
+ * This module computes, for a given Graph, the next-hop table of the
+ * escape network: nextLink(u, dest) such that following it repeatedly
+ * reaches dest along a legal up*-down* path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace sf::net {
+
+/** Up*-down* next-hop tables over the enabled links of one graph. */
+class UpDownRouting
+{
+  public:
+    /**
+     * Build the tables.
+     *
+     * @param alive Optional liveness mask: gated nodes are excluded.
+     */
+    explicit UpDownRouting(const Graph &g,
+                           const std::vector<bool> &alive = {});
+
+    /**
+     * Next link from @p u toward @p dest.
+     *
+     * @param up_phase_allowed False once the packet has taken a down
+     *        link; up links are then illegal.
+     * @return Link id, or kInvalidLink if unreachable.
+     */
+    LinkId nextLink(NodeId u, NodeId dest,
+                    bool up_phase_allowed) const;
+
+    /** True when the link classifies as "up". */
+    bool isUp(LinkId id) const { return isUp_[id]; }
+
+    /** Whether @p dest is reachable from @p u at all. */
+    bool
+    reachable(NodeId u, NodeId dest) const
+    {
+        return u == dest ||
+               nextLink(u, dest, true) != kInvalidLink;
+    }
+
+  private:
+    std::size_t n_ = 0;
+    /** Tree level of each node (BFS distance from the root). */
+    std::vector<std::uint16_t> level_;
+    std::vector<bool> isUp_;
+    /**
+     * Per (node, dest): best next link when still in the up phase
+     * and when restricted to the down phase. kInvalidLink = none.
+     */
+    std::vector<LinkId> nextUpPhase_;
+    std::vector<LinkId> nextDownPhase_;
+};
+
+} // namespace sf::net

@@ -1,0 +1,425 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace sf::sim {
+
+NetworkModel::NetworkModel(const net::Topology &topo,
+                           const SimConfig &cfg)
+    : topo_(&topo), cfg_(cfg),
+      escapeBase_(topo.numVcClasses() * kNumMsgClasses),
+      rng_(cfg.seed)
+{
+    const std::size_t n = topo.numNodes();
+    const std::size_t links = topo.graph().numLinks();
+    linkBusyUntil_.assign(links, 0);
+    outputGrantAt_.assign(links, Cycle(-1));
+    inputGrantAt_.assign(links, Cycle(-1));
+    inputs_.resize(links);
+    for (auto &unit : inputs_)
+        unit.resize(static_cast<std::size_t>(totalVcs()));
+    sourceQueue_.resize(n);
+    sourceBusyUntil_.assign(n, 0);
+    ejectBusyUntil_.assign(n, 0);
+    pendingArrivals_.assign(n, 0);
+    activeVcs_.resize(n);
+    nodeActive_.assign(n, false);
+}
+
+void
+NetworkModel::inject(NodeId src, NodeId dst, int flits, MsgClass mc,
+                     Cycle now, std::uint64_t payload, bool measured)
+{
+    Packet p;
+    p.id = nextPacketId_++;
+    p.src = src;
+    p.dst = dst;
+    p.flits = static_cast<std::uint16_t>(flits);
+    p.msgClass = mc;
+    p.vcClass = static_cast<std::uint8_t>(topo_->vcClass(src, dst));
+    p.createdAt = now;
+    p.measured = measured;
+    p.payload = payload;
+    ++stats_.injectedPackets;
+    stats_.injectedFlits += static_cast<std::uint64_t>(flits);
+    if (src == dst) {
+        // Local access: the terminal port loops straight back.
+        deliverLocal(std::move(p), now + 1);
+        return;
+    }
+    sourceQueue_[src].push_back(std::move(p));
+    activateNode(src);
+}
+
+void
+NetworkModel::deliverLocal(Packet &&p, Cycle at)
+{
+    p.enteredNetworkAt = p.createdAt;
+    localDeliveries_.push(
+        Arrival{at, kInvalidLink, 0, std::move(p)});
+}
+
+std::uint64_t
+NetworkModel::inFlight() const
+{
+    return stats_.injectedPackets - stats_.deliveredPackets -
+           dropped_;
+}
+
+std::uint64_t
+NetworkModel::sourceQueueBacklog() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : sourceQueue_)
+        total += q.size();
+    return total;
+}
+
+bool
+NetworkModel::nodeQuiescent(NodeId u) const
+{
+    if (!sourceQueue_[u].empty() || pendingArrivals_[u] > 0)
+        return false;
+    for (LinkId id : topo_->graph().inLinks(u)) {
+        for (const auto &vc : inputs_[id]) {
+            if (vc.flitsReserved > 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+NetworkModel::onTopologyChanged()
+{
+    updown_.reset();
+    // Head packets revalidate their cached candidates lazily: every
+    // forward attempt checks that the chosen link is still enabled.
+}
+
+void
+NetworkModel::ensureEscapeTables() const
+{
+    if (updown_)
+        return;
+    std::vector<bool> alive(topo_->numNodes());
+    for (NodeId u = 0; u < topo_->numNodes(); ++u)
+        alive[u] = topo_->nodeAlive(u);
+    updown_ = std::make_unique<net::UpDownRouting>(topo_->graph(),
+                                                   alive);
+}
+
+double
+NetworkModel::downstreamOccupancy(LinkId link, int vc_index) const
+{
+    const auto &vc = inputs_[link][static_cast<std::size_t>(
+        vc_index)];
+    return static_cast<double>(vc.flitsReserved) /
+           static_cast<double>(cfg_.vcDepth);
+}
+
+void
+NetworkModel::activateNode(NodeId node)
+{
+    if (!nodeActive_[node]) {
+        nodeActive_[node] = true;
+        activeNodes_.push_back(node);
+    }
+}
+
+void
+NetworkModel::step(Cycle now)
+{
+    // 1. Land arrivals whose last flit reached the downstream
+    //    buffer (space was reserved at grant time).
+    while (!arrivals_.empty() && arrivals_.top().at <= now) {
+        const Arrival &top = arrivals_.top();
+        const NodeId at_node = topo_->graph().link(top.link).dst;
+        auto &vc = inputs_[top.link][static_cast<std::size_t>(
+            top.vcIndex)];
+        if (vc.queue.empty())
+            vc.headSince = now;
+        vc.queue.push_back(top.packet);
+        --pendingArrivals_[at_node];
+        auto &active = activeVcs_[at_node];
+        const auto key = std::pair(top.link, top.vcIndex);
+        if (std::find(active.begin(), active.end(), key) ==
+            active.end())
+            active.push_back(key);
+        activateNode(at_node);
+        arrivals_.pop();
+    }
+    // Local loopback deliveries.
+    while (!localDeliveries_.empty() &&
+           localDeliveries_.top().at <= now) {
+        recordDelivery(localDeliveries_.top().packet,
+                       localDeliveries_.top().at);
+        localDeliveries_.pop();
+    }
+
+    // 2. Arbitrate all routers with pending work.
+    for (std::size_t i = 0; i < activeNodes_.size();) {
+        const NodeId node = activeNodes_[i];
+        arbitrateNode(node, now);
+        if (activeVcs_[node].empty() && sourceQueue_[node].empty()) {
+            nodeActive_[node] = false;
+            activeNodes_[i] = activeNodes_.back();
+            activeNodes_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // 3. Deadlock watchdog.
+    if (inFlight() == 0) {
+        lastProgress_ = now;
+    } else if (now - lastProgress_ > cfg_.watchdogCycles) {
+        std::ostringstream os;
+        os << "deadlock watchdog: no forward progress for "
+           << cfg_.watchdogCycles << " cycles on " << topo_->name()
+           << " with " << inFlight() << " packets in flight";
+        throw std::runtime_error(os.str());
+    }
+}
+
+void
+NetworkModel::arbitrateNode(NodeId node, Cycle now)
+{
+    auto &active = activeVcs_[node];
+    // Round-robin start offset for fairness.
+    const std::size_t start =
+        active.empty() ? 0 : static_cast<std::size_t>(
+            (now + node) % active.size());
+
+    for (std::size_t k = 0; k < active.size();) {
+        const std::size_t idx = (start + k) % active.size();
+        const auto [link, vc_index] = active[idx];
+        auto &vc = inputs_[link][static_cast<std::size_t>(vc_index)];
+        if (vc.queue.empty()) {
+            // Lazy deactivation (swap-remove preserves round-robin
+            // closely enough).
+            active[idx] = active.back();
+            active.pop_back();
+            continue;
+        }
+        // One crossbar pass per input port per cycle.
+        if (inputGrantAt_[link] == now) {
+            ++k;
+            continue;
+        }
+        Packet &p = vc.queue.front();
+        // Escalate to the escape VC after a long head-of-line wait.
+        if (!p.escape && now - vc.headSince > cfg_.escapeThreshold) {
+            p.escape = true;
+            p.escapeUpPhase = true;
+            p.routed = false;
+            ++stats_.escapeTransfers;
+        }
+        if (!p.routed && !computeRoute(node, p, now)) {
+            // Destination unreachable (gated): drop the packet.
+            const Packet dropped_packet = p;
+            vc.flitsReserved -= p.flits;
+            vc.queue.pop_front();
+            vc.headSince = now;
+            ++dropped_;
+            ++stats_.droppedUnroutable;
+            lastProgress_ = now;
+            if (onDrop_)
+                onDrop_(dropped_packet, now);
+            continue;
+        }
+        if (tryForward(node, p, now)) {
+            inputGrantAt_[link] = now;
+            vc.flitsReserved -= p.flits;
+            vc.queue.pop_front();
+            vc.headSince = now;
+            lastProgress_ = now;
+        }
+        ++k;
+    }
+
+    // Terminal port: inject at most one packet per cycle, at one
+    // flit per cycle serialisation.
+    auto &source = sourceQueue_[node];
+    if (!source.empty() && sourceBusyUntil_[node] <= now) {
+        Packet &p = source.front();
+        if (!p.routed && !computeRoute(node, p, now)) {
+            const Packet dropped_packet = p;
+            ++dropped_;
+            ++stats_.droppedUnroutable;
+            source.pop_front();
+            lastProgress_ = now;
+            if (onDrop_)
+                onDrop_(dropped_packet, now);
+            return;
+        }
+        if (p.routed) {
+            p.enteredNetworkAt = now;
+            if (tryForward(node, p, now)) {
+                sourceBusyUntil_[node] = now + p.flits;
+                source.pop_front();
+                lastProgress_ = now;
+            }
+        }
+    }
+}
+
+bool
+NetworkModel::computeRoute(NodeId node, Packet &p, Cycle now)
+{
+    (void)now;
+    p.numCandidates = 0;
+    p.routed = false;
+    if (!topo_->nodeAlive(p.dst))
+        return false;
+    if (p.dst == node) {
+        // Candidates empty + routed means "eject here".
+        p.routed = true;
+        return true;
+    }
+
+    if (!p.escape) {
+        std::vector<LinkId> candidates;
+        topo_->routeCandidates(node, p.dst, p.hops == 0, candidates);
+        if (!candidates.empty()) {
+            const auto count = std::min<std::size_t>(
+                candidates.size(), Packet::kMaxCandidates);
+            for (std::size_t i = 0; i < count; ++i)
+                p.candidates[i] = candidates[i];
+            p.numCandidates = static_cast<std::uint8_t>(count);
+            p.routed = true;
+            return true;
+        }
+        // Greedy stall (degraded topology): escalate immediately.
+        p.escape = true;
+        p.escapeUpPhase = true;
+        ++stats_.escapeTransfers;
+    }
+
+    LinkId link = kInvalidLink;
+    if (topo_->escapeScheme() == net::EscapeScheme::Ring) {
+        link = topo_->ringEscapeLink(node);
+    }
+    if (link == kInvalidLink) {
+        ensureEscapeTables();
+        link = updown_->nextLink(node, p.dst, p.escapeUpPhase);
+    }
+    if (link == kInvalidLink)
+        return false;  // genuinely unreachable
+    p.candidates[0] = link;
+    p.numCandidates = 1;
+    p.routed = true;
+    return true;
+}
+
+bool
+NetworkModel::tryForward(NodeId node, Packet &p, Cycle now)
+{
+    // Ejection at the destination.
+    if (p.dst == node) {
+        if (ejectBusyUntil_[node] > now)
+            return false;
+        ejectBusyUntil_[node] = now + p.flits;
+        recordDelivery(p, now + p.flits);
+        return true;
+    }
+
+    // Collect currently grantable candidates.
+    LinkId usable[Packet::kMaxCandidates];
+    double occupancy[Packet::kMaxCandidates];
+    int usable_count = 0;
+    bool stale = false;
+    for (int i = 0; i < p.numCandidates; ++i) {
+        const LinkId link = p.candidates[i];
+        const net::Link &l = topo_->graph().link(link);
+        if (!l.enabled) {
+            stale = true;  // reconfiguration invalidated the cache
+            continue;
+        }
+        if (linkBusyUntil_[link] > now || outputGrantAt_[link] == now)
+            continue;
+        // Virtual cut-through: room for the entire packet downstream.
+        const int dvc = downstreamVcIndex(p);
+        const auto &down = inputs_[link][static_cast<std::size_t>(
+            dvc)];
+        if (down.flitsReserved + p.flits > cfg_.vcDepth)
+            continue;
+        usable[usable_count] = link;
+        occupancy[usable_count] = downstreamOccupancy(link, dvc);
+        ++usable_count;
+    }
+    if (stale) {
+        p.routed = false;
+        if (usable_count == 0)
+            return false;
+    }
+    if (usable_count == 0)
+        return false;
+
+    // Adaptive selection (paper: prefer the greediest choice unless
+    // its port queue passed the threshold, then take the lightest).
+    int pick = 0;
+    if (cfg_.adaptive && usable_count > 1 &&
+        occupancy[0] > cfg_.adaptiveThreshold) {
+        for (int i = 1; i < usable_count; ++i) {
+            if (occupancy[i] < occupancy[pick])
+                pick = i;
+        }
+    }
+    const LinkId link = usable[pick];
+    const net::Link &l = topo_->graph().link(link);
+
+    // Commit the hop.
+    outputGrantAt_[link] = now;
+    linkBusyUntil_[link] = now + p.flits;
+
+    Packet moved = p;
+    moved.hops += 1;
+    moved.routed = false;
+    if (moved.escape) {
+        ++stats_.escapeHops;
+        if (topo_->escapeScheme() == net::EscapeScheme::Ring) {
+            if (topo_->ringPosition(l.dst) <
+                topo_->ringPosition(node))
+                moved.escapeVcBit = 1;  // crossed the dateline
+        } else {
+            ensureEscapeTables();
+            if (!updown_->isUp(link))
+                moved.escapeUpPhase = false;
+        }
+    }
+    stats_.flitHops += moved.flits;
+    if (moved.measured) {
+        ++stats_.measuredHops;
+        stats_.measuredFlitHops += moved.flits;
+    }
+
+    const int dvc = downstreamVcIndex(moved);
+    inputs_[link][static_cast<std::size_t>(dvc)].flitsReserved +=
+        moved.flits;
+    ++pendingArrivals_[l.dst];
+    const Cycle arrival = now + moved.flits - 1 + l.latency +
+                          cfg_.serdesCycles;
+    arrivals_.push(Arrival{arrival, link, dvc, std::move(moved)});
+    return true;
+}
+
+void
+NetworkModel::recordDelivery(const Packet &p, Cycle delivered_at)
+{
+    ++stats_.deliveredPackets;
+    stats_.deliveredFlits += p.flits;
+    if (p.measured) {
+        ++stats_.measuredPackets;
+        stats_.totalLatency.record(delivered_at - p.createdAt);
+        stats_.networkLatency.record(delivered_at -
+                                     p.enteredNetworkAt);
+    }
+    if (onDeliver_)
+        onDeliver_(p, delivered_at);
+}
+
+} // namespace sf::sim

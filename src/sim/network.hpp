@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cycle-level network model: virtual cut-through routers with
+ * per-VC buffering, credit-limited forwarding, congestion-adaptive
+ * output selection, escape channels, and a deadlock watchdog.
+ *
+ * Router microarchitecture (one per memory node):
+ *  - one input unit per incoming link, holding V virtual channels of
+ *    @c vcDepth flits each;
+ *  - a source queue (terminal/processor port) injecting at one flit
+ *    per cycle;
+ *  - one ejection port delivering at one flit per cycle;
+ *  - per cycle, each input port forwards at most one packet and each
+ *    output link accepts at most one packet (crossbar constraints),
+ *    chosen round-robin for fairness;
+ *  - virtual cut-through: a packet moves only when the downstream VC
+ *    has room for all its flits; the link then serialises it at one
+ *    flit per cycle, plus wire latency and SerDes delay.
+ *
+ * Virtual channel map per input port:
+ *    [0, C)            normal VCs: msgClass x topology vcClass
+ *    [C, C+4)          escape VCs: msgClass x dateline parity
+ * where C = numVcClasses() * 2. Escape routing follows the
+ * topology's scheme (up*-down* or dateline ring); packets switch to
+ * escape after a head-of-line wait threshold and stay there, which
+ * keeps the escape network's channel dependencies acyclic.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "net/updown.hpp"
+#include "sim/packet.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/stats.hpp"
+
+namespace sf::sim {
+
+/** The simulated network: all routers, links, and queues. */
+class NetworkModel
+{
+  public:
+    /** Called when a packet fully ejects at its destination. */
+    using DeliverHandler =
+        std::function<void(const Packet &, Cycle)>;
+
+    /**
+     * Called when a packet is dropped because its destination was
+     * gated away mid-flight (reconfiguration); callers typically
+     * reissue the operation to the address's new owner.
+     */
+    using DropHandler = std::function<void(const Packet &, Cycle)>;
+
+    NetworkModel(const net::Topology &topo, const SimConfig &cfg);
+
+    /**
+     * Queue a packet at @p src's terminal port. Packets with
+     * src == dst bypass the network and deliver next cycle.
+     */
+    void inject(NodeId src, NodeId dst, int flits, MsgClass mc,
+                Cycle now, std::uint64_t payload = 0,
+                bool measured = false);
+
+    /** Advance the network by one cycle. */
+    void step(Cycle now);
+
+    /** Packets injected but not yet delivered or dropped. */
+    std::uint64_t inFlight() const;
+
+    /** Total packets waiting in source queues (saturation signal). */
+    std::uint64_t sourceQueueBacklog() const;
+
+    /** No buffered, queued, or in-flight traffic touches @p u. */
+    bool nodeQuiescent(NodeId u) const;
+
+    /** Statistics. */
+    const NetStats &stats() const { return stats_; }
+    NetStats &stats() { return stats_; }
+
+    void setDeliverHandler(DeliverHandler handler)
+    {
+        onDeliver_ = std::move(handler);
+    }
+
+    void setDropHandler(DropHandler handler)
+    {
+        onDrop_ = std::move(handler);
+    }
+
+    /**
+     * Invalidate routing caches after the topology changed
+     * (reconfiguration): escape tables rebuild lazily, head packets
+     * re-route on their next arbitration.
+     */
+    void onTopologyChanged();
+
+    /** The configured topology. */
+    const net::Topology &topology() const { return *topo_; }
+
+  private:
+    /** One virtual-channel buffer. */
+    struct VcBuffer {
+        std::deque<Packet> queue;
+        int flitsReserved = 0;  ///< includes packets still in flight
+        Cycle headSince = 0;
+    };
+
+    /** A packet in flight on a link. */
+    struct Arrival {
+        Cycle at;
+        LinkId link;
+        int vcIndex;
+        Packet packet;
+        bool operator>(const Arrival &o) const { return at > o.at; }
+    };
+
+    int totalVcs() const { return escapeBase_ + 4; }
+    int normalVcIndex(const Packet &p) const
+    {
+        return p.msgClass * topo_->numVcClasses() + p.vcClass;
+    }
+    int escapeVcIndex(const Packet &p) const
+    {
+        return escapeBase_ + p.msgClass * 2 + p.escapeVcBit;
+    }
+    /** VC index the packet occupies downstream of link @p l. */
+    int downstreamVcIndex(const Packet &p) const
+    {
+        return p.escape ? escapeVcIndex(p) : normalVcIndex(p);
+    }
+
+    void arbitrateNode(NodeId node, Cycle now);
+    /**
+     * Compute (or escalate) the route of head packet @p p at
+     * @p node.
+     *
+     * @return False when the packet must be dropped (destination
+     *         gated away and unreachable).
+     */
+    bool computeRoute(NodeId node, Packet &p, Cycle now);
+    /**
+     * Try to move head packet @p p one hop (or eject it).
+     *
+     * @return True when the packet left this router.
+     */
+    bool tryForward(NodeId node, Packet &p, Cycle now);
+    void activateNode(NodeId node);
+    void ensureEscapeTables() const;
+    double downstreamOccupancy(LinkId link, int vc_index) const;
+    void deliverLocal(Packet &&p, Cycle at);
+    void recordDelivery(const Packet &p, Cycle delivered_at);
+
+    const net::Topology *topo_;
+    SimConfig cfg_;
+    int escapeBase_;
+
+    std::vector<Cycle> linkBusyUntil_;   ///< per link
+    std::vector<Cycle> outputGrantAt_;   ///< per link
+    std::vector<Cycle> inputGrantAt_;    ///< per link (as input port)
+    /** inputs_[link] = VC buffers at the link's destination. */
+    std::vector<std::vector<VcBuffer>> inputs_;
+    std::vector<std::deque<Packet>> sourceQueue_;
+    std::vector<Cycle> sourceBusyUntil_;
+    std::vector<Cycle> ejectBusyUntil_;
+    std::vector<std::uint32_t> pendingArrivals_;  ///< per node
+
+    /** (link, vcIndex) pairs that may hold a head packet, per node. */
+    std::vector<std::vector<std::pair<LinkId, int>>> activeVcs_;
+    std::vector<bool> nodeActive_;
+    std::vector<NodeId> activeNodes_;
+
+    std::priority_queue<Arrival, std::vector<Arrival>,
+                        std::greater<>> arrivals_;
+    /** Local (src == dst) deliveries scheduled for the next cycle. */
+    std::priority_queue<Arrival, std::vector<Arrival>,
+                        std::greater<>> localDeliveries_;
+
+    mutable std::unique_ptr<net::UpDownRouting> updown_;
+    DeliverHandler onDeliver_;
+    DropHandler onDrop_;
+    NetStats stats_;
+    Rng rng_;
+    std::uint64_t nextPacketId_ = 1;
+    std::uint64_t dropped_ = 0;
+    Cycle lastProgress_ = 0;
+};
+
+} // namespace sf::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The packet: unit of routing and buffering (virtual cut-through).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace sf::sim {
+
+/** Message class: split request/reply traffic onto disjoint VCs to
+ *  break protocol (request-reply) deadlock cycles. */
+enum MsgClass : std::uint8_t {
+    kRequest = 0,
+    kReply = 1,
+    kNumMsgClasses = 2,
+};
+
+/** One packet moving through the network. */
+struct Packet {
+    std::uint64_t id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Packet length in flits (serialization + buffer occupancy). */
+    std::uint16_t flits = 1;
+    std::uint8_t msgClass = kRequest;
+    /** Topology deadlock class (String Figure: coordinate order). */
+    std::uint8_t vcClass = 0;
+
+    Cycle createdAt = 0;        ///< Enqueued at the source.
+    Cycle enteredNetworkAt = 0; ///< Left the source queue.
+    std::uint16_t hops = 0;
+    bool measured = false;      ///< Counted in the stats window.
+
+    // Escape-channel state -----------------------------------------
+    bool escape = false;        ///< Permanently on the escape VC.
+    bool escapeUpPhase = true;  ///< Up*-down*: still may take up links.
+    std::uint8_t escapeVcBit = 0;  ///< Ring escape: dateline parity.
+
+    // Cached route decision (recomputed on becoming head) ----------
+    static constexpr int kMaxCandidates = 4;
+    LinkId candidates[kMaxCandidates] = {kInvalidLink, kInvalidLink,
+                                         kInvalidLink, kInvalidLink};
+    std::uint8_t numCandidates = 0;
+    bool routed = false;        ///< Candidates are valid.
+
+    /** Opaque caller data (workload op id, address, ...). */
+    std::uint64_t payload = 0;
+};
+
+} // namespace sf::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulator configuration (paper Table I defaults).
+ *
+ * The network clock matches the memory-node clock: 312.5 MHz with
+ * HMC-based nodes, i.e. one cycle = 3.2 ns. The per-hop SerDes delay
+ * of 3.2 ns (1.6 ns each end) is one extra cycle per hop. Links are
+ * one flit wide per cycle; a 64-byte cache line plus header rides in
+ * five 16-byte flits.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace sf::sim {
+
+/** Tunable parameters of one simulation. */
+struct SimConfig {
+    /** Buffer depth of each virtual channel, in flits. */
+    int vcDepth = 16;
+    /** Flits per data packet (header + 64B line in 16B flits). */
+    int packetFlits = 5;
+    /** Extra cycles per hop for SerDes (3.2 ns at 312.5 MHz). */
+    Cycle serdesCycles = 1;
+    /**
+     * Head-of-line wait (cycles) before a packet transfers to the
+     * escape virtual channel. High enough that ordinary congestion
+     * rides it out; only a genuine cyclic stall escalates.
+     */
+    Cycle escapeThreshold = 256;
+    /**
+     * Adaptive routing: a port whose downstream buffer is filled
+     * beyond this fraction is diverted around when an alternative
+     * candidate exists (paper: user-defined threshold, e.g. 50%).
+     */
+    double adaptiveThreshold = 0.5;
+    /** Enable congestion-aware selection among route candidates. */
+    bool adaptive = true;
+    /** Cycles without any forward progress that mean deadlock. */
+    Cycle watchdogCycles = 50000;
+    /** Bits per flit (16-byte flits). */
+    int flitBits = 128;
+    /** Traffic/selection randomness seed. */
+    std::uint64_t seed = 1;
+
+    /** Nanoseconds per network cycle (312.5 MHz). */
+    static constexpr double kNsPerCycle = 3.2;
+};
+
+} // namespace sf::sim

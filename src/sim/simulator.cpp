@@ -1,0 +1,174 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf::sim {
+
+namespace {
+
+/** Live-node list of a (possibly down-scaled) topology. */
+std::vector<NodeId>
+liveNodes(const net::Topology &topo)
+{
+    std::vector<NodeId> nodes;
+    for (NodeId u = 0; u < topo.numNodes(); ++u) {
+        if (topo.nodeAlive(u))
+            nodes.push_back(u);
+    }
+    return nodes;
+}
+
+} // namespace
+
+RunResult
+runSynthetic(const net::Topology &topo, TrafficPattern pattern,
+             double rate, const SimConfig &cfg,
+             const RunPhases &phases)
+{
+    NetworkModel net(topo, cfg);
+    Rng traffic_rng(cfg.seed * 0x9e3779b9ULL + 17);
+    const auto nodes = liveNodes(topo);
+    const auto n_all = topo.numNodes();
+
+    RunResult result;
+    result.offeredLoad = rate * cfg.packetFlits;
+
+    const Cycle measure_end = phases.warmup + phases.measure;
+    const Cycle hard_end = measure_end + phases.drainLimit;
+    std::uint64_t measured_injected = 0;
+    std::uint64_t delivered_at_measure_start = 0;
+    std::uint64_t delivered_at_measure_end = 0;
+    // Early-abort when source queues pile several packets deep per
+    // node: the network is saturated, no need to keep simulating.
+    const std::uint64_t backlog_cap = nodes.size() * 6;
+
+    Cycle cycle = 0;
+    for (; cycle < hard_end; ++cycle) {
+        if (cycle == phases.warmup)
+            delivered_at_measure_start =
+                net.stats().deliveredPackets;
+        if (cycle == measure_end)
+            delivered_at_measure_end = net.stats().deliveredPackets;
+
+        const bool in_measure =
+            cycle >= phases.warmup && cycle < measure_end;
+        for (const NodeId src : nodes) {
+            if (!traffic_rng.chance(rate))
+                continue;
+            const NodeId dst = trafficDestination(
+                pattern, src, n_all, traffic_rng);
+            if (dst == src || !topo.nodeAlive(dst))
+                continue;
+            net.inject(src, dst, cfg.packetFlits, kRequest, cycle,
+                       0, in_measure);
+            measured_injected += in_measure ? 1 : 0;
+        }
+        net.step(cycle);
+
+        if ((cycle & 0xff) == 0 &&
+            net.sourceQueueBacklog() > backlog_cap) {
+            result.saturated = true;
+            break;
+        }
+        if (cycle >= measure_end &&
+            net.stats().measuredPackets >= measured_injected)
+            break;  // drained
+    }
+    if (cycle >= hard_end)
+        result.saturated = true;
+
+    const NetStats &stats = net.stats();
+    result.avgTotalLatency = stats.totalLatency.mean();
+    result.avgNetworkLatency = stats.networkLatency.mean();
+    result.p50Latency = stats.totalLatency.percentile(0.50);
+    result.p99Latency = stats.totalLatency.percentile(0.99);
+    result.avgHops = stats.avgHops();
+    result.measuredPackets = stats.measuredPackets;
+    result.escapeTransfers = stats.escapeTransfers;
+    result.flitHops = stats.flitHops;
+    result.simulatedCycles = cycle;
+    if (cycle > phases.warmup && !nodes.empty()) {
+        const Cycle window_end = std::min<Cycle>(cycle, measure_end);
+        const std::uint64_t delivered_in_window =
+            (delivered_at_measure_end > 0
+                 ? delivered_at_measure_end
+                 : net.stats().deliveredPackets) -
+            delivered_at_measure_start;
+        const double window = static_cast<double>(
+            window_end - phases.warmup);
+        if (window > 0) {
+            result.acceptedLoad =
+                static_cast<double>(delivered_in_window) *
+                cfg.packetFlits /
+                (window * static_cast<double>(nodes.size()));
+        }
+    }
+    return result;
+}
+
+double
+zeroLoadLatency(const net::Topology &topo, const SimConfig &cfg,
+                TrafficPattern pattern)
+{
+    RunPhases phases;
+    phases.warmup = 500;
+    phases.measure = 4000;
+    phases.drainLimit = 20000;
+    const auto result =
+        runSynthetic(topo, pattern, 0.002, cfg, phases);
+    return result.avgTotalLatency;
+}
+
+double
+findSaturationRate(const net::Topology &topo, TrafficPattern pattern,
+                   const SimConfig &cfg, const RunPhases &phases,
+                   double tolerance)
+{
+    const double zero_load = zeroLoadLatency(topo, cfg, pattern);
+    const double latency_cap = std::max(3.0 * zero_load, 120.0);
+
+    const auto saturated_at = [&](double rate) {
+        const auto r = runSynthetic(topo, pattern, rate, cfg,
+                                    phases);
+        return r.saturated || r.avgTotalLatency > latency_cap;
+    };
+
+    double lo = 0.0;          // known good
+    double hi = 1.0;          // known bad (or max)
+    if (!saturated_at(1.0))
+        return 1.0;
+    // Geometric descent to bracket, then bisection.
+    double probe = 0.5;
+    while (probe > 1e-4 && saturated_at(probe)) {
+        hi = probe;
+        probe /= 4.0;
+    }
+    if (probe <= 1e-4)
+        return probe;
+    lo = probe;
+    while (hi / lo > 1.0 + tolerance) {
+        const double mid = std::sqrt(hi * lo);
+        if (saturated_at(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return lo;
+}
+
+std::vector<SweepPoint>
+latencySweep(const net::Topology &topo, TrafficPattern pattern,
+             const std::vector<double> &rates, const SimConfig &cfg,
+             const RunPhases &phases)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(rates.size());
+    for (const double rate : rates)
+        points.push_back(
+            SweepPoint{rate, runSynthetic(topo, pattern, rate, cfg,
+                                          phases)});
+    return points;
+}
+
+} // namespace sf::sim

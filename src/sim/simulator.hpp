@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment harness over the network model: open-loop synthetic
+ * traffic runs with warmup / measurement / drain phases, saturation
+ * detection, zero-load latency, latency-vs-injection sweeps
+ * (paper Fig 11), and saturation-point search (paper Fig 10).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/traffic.hpp"
+
+namespace sf::sim {
+
+/** Phase lengths of one run, in cycles. */
+struct RunPhases {
+    Cycle warmup = 1000;
+    Cycle measure = 3000;
+    Cycle drainLimit = 20000;
+};
+
+/** Outcome of one synthetic-traffic run. */
+struct RunResult {
+    double avgTotalLatency = 0.0;   ///< create -> eject, cycles
+    double avgNetworkLatency = 0.0; ///< entry -> eject, cycles
+    Cycle p50Latency = 0;
+    Cycle p99Latency = 0;
+    double avgHops = 0.0;
+    double offeredLoad = 0.0;   ///< flits / node / cycle offered
+    double acceptedLoad = 0.0;  ///< flits / node / cycle delivered
+    bool saturated = false;
+    std::uint64_t measuredPackets = 0;
+    std::uint64_t escapeTransfers = 0;
+    std::uint64_t flitHops = 0;     ///< full-run flit-hops (energy)
+    Cycle simulatedCycles = 0;
+};
+
+/**
+ * Run open-loop synthetic traffic: every live node injects a
+ * @c cfg.packetFlits packet with probability @p rate each cycle
+ * toward @p pattern destinations. Injection continues during drain;
+ * a run that cannot drain its measured packets (or whose source
+ * backlog keeps growing) reports saturated.
+ */
+RunResult runSynthetic(const net::Topology &topo,
+                       TrafficPattern pattern, double rate,
+                       const SimConfig &cfg,
+                       const RunPhases &phases = {});
+
+/** Zero-load average packet latency (very light uniform traffic). */
+double zeroLoadLatency(const net::Topology &topo,
+                       const SimConfig &cfg,
+                       TrafficPattern pattern =
+                           TrafficPattern::UniformRandom);
+
+/**
+ * Saturation injection rate in packets/node/cycle: the highest rate
+ * (within @p tolerance, geometric) that is not saturated. 1.0 means
+ * the network absorbs full injection bandwidth.
+ */
+double findSaturationRate(const net::Topology &topo,
+                          TrafficPattern pattern,
+                          const SimConfig &cfg,
+                          const RunPhases &phases = {},
+                          double tolerance = 0.07);
+
+/** Latency-vs-rate curve point. */
+struct SweepPoint {
+    double rate;
+    RunResult result;
+};
+
+/** Evaluate a list of injection rates (Fig 11 curves). */
+std::vector<SweepPoint>
+latencySweep(const net::Topology &topo, TrafficPattern pattern,
+             const std::vector<double> &rates, const SimConfig &cfg,
+             const RunPhases &phases = {});
+
+} // namespace sf::sim

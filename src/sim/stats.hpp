@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Simulation statistics: latency distributions, throughput,
+ * hop/flit-hop counters for the energy model, escape usage.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace sf::sim {
+
+/** Latency histogram with fixed-width bins and overflow bucket. */
+class LatencyHistogram
+{
+  public:
+    explicit LatencyHistogram(std::size_t bins = 4096)
+        : bins_(bins, 0)
+    {
+    }
+
+    void
+    record(Cycle latency)
+    {
+        ++count_;
+        sum_ += latency;
+        if (latency < bins_.size())
+            ++bins_[latency];
+        else
+            ++overflow_;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Latency at quantile @p q in [0, 1]. */
+    Cycle
+    percentile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_ - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < bins_.size(); ++i) {
+            seen += bins_[i];
+            if (seen > target)
+                return static_cast<Cycle>(i);
+        }
+        return static_cast<Cycle>(bins_.size());  // overflowed
+    }
+
+    void
+    reset()
+    {
+        std::fill(bins_.begin(), bins_.end(), 0ull);
+        overflow_ = count_ = sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Counters accumulated by the network model. */
+struct NetStats {
+    std::uint64_t injectedPackets = 0;
+    std::uint64_t deliveredPackets = 0;
+    std::uint64_t injectedFlits = 0;
+    std::uint64_t deliveredFlits = 0;
+
+    /** Measured-window deliveries only. */
+    std::uint64_t measuredPackets = 0;
+    std::uint64_t measuredHops = 0;
+    /** Flit-hops of measured packets (energy: bits x hops). */
+    std::uint64_t measuredFlitHops = 0;
+    LatencyHistogram totalLatency;    ///< create -> eject
+    LatencyHistogram networkLatency;  ///< network entry -> eject
+
+    /** All-time flit-hops (for whole-run energy accounting). */
+    std::uint64_t flitHops = 0;
+
+    std::uint64_t escapeTransfers = 0;  ///< packets forced to escape
+    std::uint64_t escapeHops = 0;
+    std::uint64_t droppedUnroutable = 0;  ///< dst gated mid-flight
+
+    double
+    avgHops() const
+    {
+        return measuredPackets
+                   ? static_cast<double>(measuredHops) /
+                     static_cast<double>(measuredPackets)
+                   : 0.0;
+    }
+};
+
+} // namespace sf::sim

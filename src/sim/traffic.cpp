@@ -1,0 +1,53 @@
+#include "sim/traffic.hpp"
+
+namespace sf::sim {
+
+std::string
+patternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom: return "uniform";
+      case TrafficPattern::Tornado: return "tornado";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::Opposite: return "opposite";
+      case TrafficPattern::NearestNeighbor: return "neighbor";
+      case TrafficPattern::Complement: return "complement";
+      case TrafficPattern::Partition2: return "partition2";
+    }
+    return "?";
+}
+
+NodeId
+trafficDestination(TrafficPattern pattern, NodeId src,
+                   std::size_t n, Rng &rng)
+{
+    const auto nn = static_cast<NodeId>(n);
+    switch (pattern) {
+      case TrafficPattern::UniformRandom:
+        return static_cast<NodeId>(rng.below(n));
+      case TrafficPattern::Tornado:
+        return static_cast<NodeId>((src + nn / 2) % nn);
+      case TrafficPattern::Hotspot:
+        // A single fixed destination; mid-id keeps it away from any
+        // privileged corner in grid-based baselines.
+        return nn / 2;
+      case TrafficPattern::Opposite:
+        return nn - 1 - src;
+      case TrafficPattern::NearestNeighbor:
+        return static_cast<NodeId>((src + 1) % nn);
+      case TrafficPattern::Complement:
+        // Bitwise complement within the id width (Table III); reduce
+        // modulo n for non-power-of-two scales.
+        return static_cast<NodeId>((src ^ (nn - 1)) % nn);
+      case TrafficPattern::Partition2: {
+        // Two halves; nodes pick random destinations in their half.
+        const NodeId half = nn / 2;
+        if (src < half)
+            return static_cast<NodeId>(rng.below(half));
+        return static_cast<NodeId>(half + rng.below(nn - half));
+      }
+    }
+    return src;
+}
+
+} // namespace sf::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper Table III).
+ */
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "net/rng.hpp"
+#include "net/types.hpp"
+
+namespace sf::sim {
+
+/** The seven evaluated patterns. */
+enum class TrafficPattern {
+    UniformRandom,
+    Tornado,
+    Hotspot,
+    Opposite,
+    NearestNeighbor,
+    Complement,
+    Partition2,
+};
+
+/** All patterns, in the paper's Table III order. */
+inline constexpr std::array<TrafficPattern, 7> kAllPatterns{
+    TrafficPattern::UniformRandom,  TrafficPattern::Tornado,
+    TrafficPattern::Hotspot,        TrafficPattern::Opposite,
+    TrafficPattern::NearestNeighbor, TrafficPattern::Complement,
+    TrafficPattern::Partition2,
+};
+
+/** Display name matching the paper's tables. */
+std::string patternName(TrafficPattern pattern);
+
+/**
+ * Destination for a packet from @p src under @p pattern in an
+ * @p n node network (Table III formulas, generalised to arbitrary
+ * n by reducing modulo n). May return src; callers skip such
+ * injections.
+ */
+NodeId trafficDestination(TrafficPattern pattern, NodeId src,
+                          std::size_t n, Rng &rng);
+
+} // namespace sf::sim

@@ -1,0 +1,67 @@
+#include "topos/flattened_butterfly.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::topos {
+
+FlattenedButterfly::FlattenedButterfly(int rows, int cols,
+                                       bool adapted)
+    : rows_(rows), cols_(cols), adapted_(adapted)
+{
+    if (rows < 2 || cols < 2)
+        throw std::invalid_argument("FB needs at least a 2x2 grid");
+    graph_ = net::Graph(static_cast<std::size_t>(rows) * cols);
+
+    // Offsets within one dimension of size k: a full clique (FB) or
+    // power-of-two circulant jumps with wraparound (AFB).
+    const auto offsets = [&](int k) {
+        std::vector<int> result;
+        if (!adapted_) {
+            for (int d = 1; d < k; ++d)
+                result.push_back(d);
+        } else {
+            for (int d = 1; d < k; d *= 2)
+                result.push_back(d);
+        }
+        return result;
+    };
+
+    // Collect undirected wires with set-based dedup (the circulant
+    // wrap can name one wire twice, e.g. offset k/2).
+    std::set<std::pair<NodeId, NodeId>> edges;
+    const auto note = [&](NodeId u, NodeId v) {
+        if (u != v)
+            edges.insert({std::min(u, v), std::max(u, v)});
+    };
+    const auto row_offsets = offsets(cols_);
+    const auto col_offsets = offsets(rows_);
+    for (int row = 0; row < rows_; ++row) {
+        for (int col = 0; col < cols_; ++col) {
+            for (int d : row_offsets) {
+                const int peer = adapted_ ? (col + d) % cols_
+                                          : col + d;
+                if (peer < cols_)
+                    note(at(col, row), at(peer, row));
+            }
+            for (int d : col_offsets) {
+                const int peer = adapted_ ? (row + d) % rows_
+                                          : row + d;
+                if (peer < rows_)
+                    note(at(col, row), at(col, peer));
+            }
+        }
+    }
+    for (const auto &[u, v] : edges)
+        graph_.addBidirectional(u, v);
+
+    for (NodeId u = 0; u < graph_.numNodes(); ++u) {
+        maxPorts_ = std::max(
+            maxPorts_, static_cast<int>(graph_.degreeOut(u)));
+    }
+    invalidateTable();
+}
+
+} // namespace sf::topos

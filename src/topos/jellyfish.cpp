@@ -1,0 +1,84 @@
+#include "topos/jellyfish.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sf::topos {
+
+Jellyfish::Jellyfish(std::size_t num_nodes, int degree,
+                     std::uint64_t seed)
+    : degree_(degree)
+{
+    if (num_nodes <= static_cast<std::size_t>(degree))
+        throw std::invalid_argument("jellyfish needs N > degree");
+    if ((num_nodes * static_cast<std::size_t>(degree)) % 2 != 0)
+        throw std::invalid_argument("N * degree must be even");
+
+    Rng rng(seed);
+    using Edge = std::pair<NodeId, NodeId>;
+    const auto norm = [](NodeId a, NodeId b) {
+        return Edge{std::min(a, b), std::max(a, b)};
+    };
+
+    // Start from a ring (connected, degree 2 everywhere), then add
+    // random edges between free-port pairs, resolving clashes with
+    // degree-preserving swaps — the Jellyfish construction.
+    std::set<Edge> edges;
+    std::vector<int> deg(num_nodes, 0);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        edges.insert(norm(u, (u + 1) % num_nodes));
+        deg[u] = 2;
+    }
+
+    std::vector<NodeId> free;
+    const auto refill = [&] {
+        free.clear();
+        for (NodeId u = 0; u < num_nodes; ++u) {
+            for (int i = deg[u]; i < degree; ++i)
+                free.push_back(u);
+        }
+    };
+    refill();
+    int stuck = 0;
+    while (free.size() >= 2 && stuck < 1000) {
+        const std::size_t i = rng.below(free.size());
+        std::size_t j = rng.below(free.size());
+        if (i == j) {
+            ++stuck;
+            continue;
+        }
+        const NodeId a = free[i];
+        const NodeId b = free[j];
+        if (a == b || edges.count(norm(a, b))) {
+            // Clash: swap with a random existing edge (x, y) so that
+            // (a, x) and (b, y) replace it, preserving degrees.
+            auto it = edges.begin();
+            std::advance(it, rng.below(edges.size()));
+            const auto [x, y] = *it;
+            if (a == x || a == y || b == x || b == y ||
+                edges.count(norm(a, x)) || edges.count(norm(b, y))) {
+                ++stuck;
+                continue;
+            }
+            edges.erase(it);
+            edges.insert(norm(a, x));
+            edges.insert(norm(b, y));
+        } else {
+            edges.insert(norm(a, b));
+        }
+        ++deg[a];
+        ++deg[b];
+        stuck = 0;
+        refill();
+    }
+
+    graph_ = net::Graph(num_nodes);
+    for (const auto &[u, v] : edges)
+        graph_.addBidirectional(u, v);
+    invalidateTable();
+}
+
+} // namespace sf::topos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Jellyfish baseline: a sufficiently uniform random regular graph.
+ *
+ * Jellyfish (Singla et al., NSDI'12) wires top-of-rack switches into
+ * a uniform random r-regular graph. The paper compares String
+ * Figure's average shortest path length against Jellyfish (Fig 5) to
+ * argue its topology is a "sufficiently uniform random graph". The
+ * generator uses the standard incremental edge-swap construction:
+ * grow the graph by inserting nodes into random existing edges, then
+ * randomise further with degree-preserving double-edge swaps.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "net/rng.hpp"
+#include "topos/table_routed.hpp"
+
+namespace sf::topos {
+
+/** Random r-regular graph with bidirectional wires. */
+class Jellyfish : public TableRoutedTopology
+{
+  public:
+    /**
+     * @param num_nodes Node count N.
+     * @param degree Wires per node r (N * r must be even).
+     * @param seed Generator seed.
+     */
+    Jellyfish(std::size_t num_nodes, int degree, std::uint64_t seed);
+
+    std::string name() const override { return "Jellyfish"; }
+    int routerPorts() const override { return degree_; }
+    net::TopologyFeatures
+    features() const override
+    {
+        // k-shortest-path forwarding state grows superlinearly in N;
+        // the paper rules Jellyfish out of memory networks for it.
+        return net::TopologyFeatures{
+            .requiresHighRadix = false,
+            .portCountScales = false,
+            .reconfigurable = false,
+        };
+    }
+
+  private:
+    int degree_;
+};
+
+} // namespace sf::topos

@@ -1,0 +1,75 @@
+#include "topos/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::topos {
+
+MeshTopology::MeshTopology(int rows, int cols, int link_multiplier)
+    : graph_(static_cast<std::size_t>(rows) * cols), rows_(rows),
+      cols_(cols), multiplier_(link_multiplier)
+{
+    if (rows < 2 || cols < 2)
+        throw std::invalid_argument("mesh needs at least a 2x2 grid");
+    if (link_multiplier < 1)
+        throw std::invalid_argument("link multiplier must be >= 1");
+    for (int row = 0; row < rows_; ++row) {
+        for (int col = 0; col < cols_; ++col) {
+            for (int m = 0; m < multiplier_; ++m) {
+                if (col + 1 < cols_) {
+                    graph_.addBidirectional(at(col, row),
+                                            at(col + 1, row));
+                }
+                if (row + 1 < rows_) {
+                    graph_.addBidirectional(at(col, row),
+                                            at(col, row + 1));
+                }
+            }
+        }
+    }
+}
+
+std::pair<int, int>
+MeshTopology::gridShape(std::size_t n)
+{
+    // Prefer the squarest factorisation with both sides >= 2.
+    const int root = static_cast<int>(std::sqrt(
+        static_cast<double>(n)));
+    for (int rows = root; rows >= 2; --rows) {
+        if (n % static_cast<std::size_t>(rows) == 0) {
+            const int cols = static_cast<int>(n) / rows;
+            if (cols >= 2)
+                return {rows, cols};
+        }
+    }
+    return {0, 0};
+}
+
+void
+MeshTopology::routeCandidates(NodeId current, NodeId dest,
+                              bool first_hop,
+                              std::vector<LinkId> &out) const
+{
+    (void)first_hop;
+    out.clear();
+    if (current == dest)
+        return;
+    // XY dimension order: finish the column dimension first. All
+    // parallel wires of the chosen direction are candidates, giving
+    // the adaptive selector room to spread load (ODM).
+    NodeId next;
+    if (x(current) != x(dest)) {
+        next = x(current) < x(dest) ? current + 1 : current - 1;
+    } else {
+        next = y(current) < y(dest)
+                   ? current + static_cast<NodeId>(cols_)
+                   : current - static_cast<NodeId>(cols_);
+    }
+    for (LinkId id : graph_.outLinks(current)) {
+        const net::Link &l = graph_.link(id);
+        if (l.enabled && l.dst == next)
+            out.push_back(id);
+    }
+}
+
+} // namespace sf::topos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Distributed mesh baselines: DM and ODM.
+ *
+ * DM is the 2D mesh memory network explored by Kim et al. and Zhan
+ * et al. — each memory node has a 4-port router wired to its grid
+ * neighbours. ODM ("optimized DM", paper Section V) widens every
+ * mesh edge to @c linkMultiplier parallel wires so its bisection
+ * bandwidth matches String Figure's at the same node count.
+ *
+ * Routing is XY dimension-order — deterministic and deadlock-free —
+ * with adaptivity across the parallel wires of the chosen direction
+ * (the simulator picks the least-loaded one), which is where ODM's
+ * extra links pay off.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace sf::topos {
+
+/** 2D mesh with optional parallel links per edge. */
+class MeshTopology : public net::Topology
+{
+  public:
+    /**
+     * @param rows,cols Grid shape (rows * cols = node count).
+     * @param link_multiplier Parallel wires per mesh edge (ODM > 1).
+     */
+    MeshTopology(int rows, int cols, int link_multiplier = 1);
+
+    /** The grid shape that fits @p n nodes, or {0,0} if none. */
+    static std::pair<int, int> gridShape(std::size_t n);
+
+    std::string name() const override
+    {
+        return multiplier_ > 1 ? "ODM" : "DM";
+    }
+    const net::Graph &graph() const override { return graph_; }
+    int routerPorts() const override { return 4 * multiplier_; }
+    void routeCandidates(NodeId current, NodeId dest, bool first_hop,
+                         std::vector<LinkId> &out) const override;
+    net::TopologyFeatures
+    features() const override
+    {
+        return net::TopologyFeatures{
+            .requiresHighRadix = false,
+            .portCountScales = false,
+            .reconfigurable = false,
+        };
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+  private:
+    int x(NodeId u) const { return static_cast<int>(u) % cols_; }
+    int y(NodeId u) const { return static_cast<int>(u) / cols_; }
+    NodeId
+    at(int col, int row) const
+    {
+        return static_cast<NodeId>(row * cols_ + col);
+    }
+
+    net::Graph graph_;
+    int rows_;
+    int cols_;
+    int multiplier_;
+};
+
+} // namespace sf::topos

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Space Shuffle (S2) baseline.
+ *
+ * S2 (Yu & Qian, ICNP'14) is the random multi-ring topology String
+ * Figure builds on: the same virtual-space construction and greedy
+ * MD routing, but without shortcuts, without two-hop table lookahead,
+ * without adaptive first-hop diversion, and without any
+ * reconfiguration support. The paper evaluates "S2-ideal": a fresh
+ * S2 topology regenerated at every network scale (because S2 cannot
+ * down-scale in place), which this class reproduces by construction.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/string_figure.hpp"
+
+namespace sf::topos {
+
+/** S2: String Figure minus shortcuts, lookahead, and adaptivity. */
+class SpaceShuffle : public core::StringFigure
+{
+  public:
+    SpaceShuffle(std::size_t num_nodes, int router_ports,
+                 std::uint64_t seed,
+                 core::LinkMode mode = core::LinkMode::Unidirectional)
+        : core::StringFigure(makeParams(num_nodes, router_ports,
+                                        seed, mode))
+    {
+    }
+
+    std::string name() const override { return "S2"; }
+
+    void
+    routeCandidates(NodeId current, NodeId dest, bool first_hop,
+                    std::vector<LinkId> &out) const override
+    {
+        // No adaptive widening: S2 commits to the greediest choice.
+        (void)first_hop;
+        core::StringFigure::routeCandidates(current, dest, false,
+                                            out);
+    }
+
+    net::TopologyFeatures
+    features() const override
+    {
+        return net::TopologyFeatures{
+            .requiresHighRadix = false,
+            .portCountScales = false,
+            .reconfigurable = false,
+        };
+    }
+
+  private:
+    static core::SFParams
+    makeParams(std::size_t n, int ports, std::uint64_t seed,
+               core::LinkMode mode)
+    {
+        core::SFParams p;
+        p.numNodes = n;
+        p.routerPorts = ports;
+        p.seed = seed;
+        p.linkMode = mode;
+        p.buildShortcuts = false;
+        p.twoHopTable = false;
+        p.repairMode = core::RepairMode::ShortcutsOnly;
+        return p;
+    }
+};
+
+} // namespace sf::topos

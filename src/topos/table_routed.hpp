@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Base class for baselines routed by precomputed minimal tables.
+ *
+ * "Minimal + adaptive" routing (paper Fig 8, FB/AFB rows): every
+ * enabled out-link that lies on some shortest path to the
+ * destination is a candidate; the simulator's adaptive selector
+ * picks among them by congestion. The distance table is recomputed
+ * lazily after any link/liveness change.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/paths.hpp"
+#include "net/topology.hpp"
+
+namespace sf::topos {
+
+/** Topology with BFS-minimal adaptive routing. */
+class TableRoutedTopology : public net::Topology
+{
+  public:
+    const net::Graph &graph() const override { return graph_; }
+
+    void
+    routeCandidates(NodeId current, NodeId dest, bool first_hop,
+                    std::vector<LinkId> &out) const override
+    {
+        (void)first_hop;
+        ensureTable();
+        out.clear();
+        const std::size_t n = graph_.numNodes();
+        const std::uint16_t here = dist_[current * n + dest];
+        if (here == net::kUnreachable)
+            return;
+        for (LinkId id : graph_.outLinks(current)) {
+            const net::Link &l = graph_.link(id);
+            if (l.enabled && dist_[l.dst * n + dest] + 1 == here)
+                out.push_back(id);
+        }
+    }
+
+    /** Hop distance between two nodes (analysis helper). */
+    std::uint16_t
+    hopDistance(NodeId u, NodeId v) const
+    {
+        ensureTable();
+        return dist_[u * graph_.numNodes() + v];
+    }
+
+  protected:
+    /** Subclasses populate this and call invalidateTable(). */
+    net::Graph graph_;
+
+    /** Drop the cached distance table after topology changes. */
+    void invalidateTable() { tableValid_ = false; }
+
+  private:
+    void
+    ensureTable() const
+    {
+        if (!tableValid_) {
+            dist_ = net::distanceTable(graph_);
+            tableValid_ = true;
+        }
+    }
+
+    mutable std::vector<std::uint16_t> dist_;
+    mutable bool tableValid_ = false;
+};
+
+} // namespace sf::topos

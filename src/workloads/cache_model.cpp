@@ -1,0 +1,113 @@
+#include "workloads/cache_model.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace sf::wl {
+
+CacheLevel::CacheLevel(std::uint64_t size_bytes, int associativity,
+                       int line_bytes)
+    : lineShift_(std::countr_zero(
+          static_cast<unsigned>(line_bytes))),
+      numSets_(size_bytes /
+               (static_cast<std::uint64_t>(line_bytes) *
+                associativity)),
+      ways_(associativity),
+      ways_storage_(numSets_ * associativity)
+{
+    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0);
+}
+
+CacheLevel::Way *
+CacheLevel::set(std::uint64_t line)
+{
+    const std::size_t index = line & (numSets_ - 1);
+    return &ways_storage_[index * static_cast<std::size_t>(ways_)];
+}
+
+CacheLevel::Outcome
+CacheLevel::access(std::uint64_t addr, bool is_write)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t tag = line / numSets_;
+    Way *ways = set(line);
+    ++useClock_;
+
+    Outcome outcome;
+    Way *lru = &ways[0];
+    for (int w = 0; w < ways_; ++w) {
+        Way &way = ways[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock_;
+            way.dirty |= is_write;
+            ++hits_;
+            outcome.hit = true;
+            return outcome;
+        }
+        if (!way.valid) {
+            lru = &way;  // free way beats any victim
+            break;
+        }
+        if (way.lastUse < lru->lastUse)
+            lru = &way;
+    }
+    ++misses_;
+    if (lru->valid && lru->dirty) {
+        outcome.evictedDirty = true;
+        const std::uint64_t victim_line =
+            lru->tag * numSets_ + (line & (numSets_ - 1));
+        outcome.evictedLine = victim_line << lineShift_;
+    }
+    lru->valid = true;
+    lru->tag = tag;
+    lru->dirty = is_write;
+    lru->lastUse = useClock_;
+    return outcome;
+}
+
+namespace {
+
+/** Write a victim line back into L3; dirty L3 victims hit DRAM. */
+void
+writebackToL3(CacheLevel &l3, std::uint64_t line,
+              std::vector<MemAccess> &dram)
+{
+    const auto out = l3.access(line, true);
+    // A full-line writeback allocates without fetching
+    // (write-validate); only a displaced dirty line reaches DRAM.
+    if (!out.hit && out.evictedDirty)
+        dram.push_back(MemAccess{out.evictedLine, true});
+}
+
+} // namespace
+
+void
+CacheHierarchy::access(std::uint64_t addr, bool is_write,
+                       std::vector<MemAccess> &dram)
+{
+    // Write-back write-allocate at every level: dirty victims
+    // cascade down; fills propagate up as clean copies.
+    const auto r1 = l1_.access(addr, is_write);
+    if (r1.evictedDirty) {
+        const auto r2 = l2_.access(r1.evictedLine, true);
+        if (!r2.hit && r2.evictedDirty)
+            writebackToL3(l3_, r2.evictedLine, dram);
+    }
+    if (r1.hit)
+        return;
+
+    const auto r2 = l2_.access(addr, false);
+    if (r2.evictedDirty)
+        writebackToL3(l3_, r2.evictedLine, dram);
+    if (r2.hit)
+        return;
+
+    const auto r3 = l3_.access(addr, false);
+    if (r3.evictedDirty)
+        dram.push_back(MemAccess{r3.evictedLine, true});
+    if (r3.hit)
+        return;
+    dram.push_back(MemAccess{addr, false});
+}
+
+} // namespace sf::wl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The trace generator's cache hierarchy (paper Section V): 32 KB L1,
+ * 2 MB L2, 32 MB L3 with associativities 4, 8, and 16, 64-byte
+ * lines, LRU replacement, write-back write-allocate. CPU-side
+ * accesses filter through all three levels; only the resulting DRAM
+ * traffic (miss fills and dirty evictions) reaches the memory
+ * network, exactly like the paper's Pin-based tool.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sf::wl {
+
+/** One set-associative write-back cache level. */
+class CacheLevel
+{
+  public:
+    CacheLevel(std::uint64_t size_bytes, int associativity,
+               int line_bytes = 64);
+
+    /** Result of looking a line up (and inserting it on miss). */
+    struct Outcome {
+        bool hit = false;
+        bool evictedDirty = false;
+        std::uint64_t evictedLine = 0;  ///< line address (bytes)
+    };
+
+    /**
+     * Access the line containing @p addr; allocates on miss and
+     * reports any dirty eviction.
+     */
+    Outcome access(std::uint64_t addr, bool is_write);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way {
+        std::uint64_t tag = 0;
+        std::uint32_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int lineShift_;
+    std::size_t numSets_;
+    int ways_;
+    std::vector<Way> ways_storage_;
+    std::uint32_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    Way *set(std::uint64_t line) ;
+};
+
+/** A DRAM access produced by the hierarchy. */
+struct MemAccess {
+    std::uint64_t addr = 0;
+    bool isWrite = false;
+};
+
+/** The paper's three-level hierarchy. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy()
+        : l1_(32 * 1024, 4), l2_(2 * 1024 * 1024, 8),
+          l3_(32ull * 1024 * 1024, 16)
+    {
+    }
+
+    /**
+     * Run one CPU access through L1/L2/L3.
+     *
+     * @param[out] dram DRAM accesses appended (miss fill read
+     *             and/or L3 dirty writeback).
+     */
+    void access(std::uint64_t addr, bool is_write,
+                std::vector<MemAccess> &dram);
+
+    const CacheLevel &l1() const { return l1_; }
+    const CacheLevel &l2() const { return l2_; }
+    const CacheLevel &l3() const { return l3_; }
+
+  private:
+    CacheLevel l1_;
+    CacheLevel l2_;
+    CacheLevel l3_;
+};
+
+} // namespace sf::wl

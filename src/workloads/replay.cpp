@@ -1,0 +1,252 @@
+#include "workloads/replay.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "core/string_figure.hpp"
+#include "mem/memory_node.hpp"
+#include "mem/power_manager.hpp"
+#include "sim/network.hpp"
+
+namespace sf::wl {
+
+namespace {
+
+/** A pending DRAM reply scheduled for injection. */
+struct PendingReply {
+    Cycle at;
+    NodeId from;
+    NodeId to;
+    int flits;
+    std::uint64_t opIndex;
+    bool operator>(const PendingReply &o) const { return at > o.at; }
+};
+
+/** Per-socket issue state. */
+struct Socket {
+    std::vector<NodeId> attach;
+    std::size_t nextAttach = 0;
+    std::size_t nextOp = 0;     ///< index into its op list
+    int outstanding = 0;
+};
+
+} // namespace
+
+ReplayResult
+replayTrace(const Trace &trace, net::Topology &topo,
+            const sim::SimConfig &sim_cfg, const ReplayConfig &cfg,
+            std::size_t gate_to_live)
+{
+    ReplayResult result;
+    if (trace.ops.empty()) {
+        result.finished = true;
+        return result;
+    }
+
+    // Static down-scaling happens before anything attaches or maps.
+    auto *sf_pregate = dynamic_cast<core::StringFigure *>(&topo);
+    if (gate_to_live > 0 && cfg.staticGating &&
+        sf_pregate != nullptr) {
+        Rng gate_rng(sim_cfg.seed * 13 + 5);
+        sf_pregate->reduceTo(gate_to_live, gate_rng);
+    }
+
+    sim::NetworkModel net(topo, sim_cfg);
+    mem::AddressMap map(topo, cfg.interleaveBytes);
+    mem::EnergyModel energy(cfg.energy);
+    std::vector<mem::MemoryNode> memory;
+    memory.reserve(topo.numNodes());
+    for (std::size_t i = 0; i < topo.numNodes(); ++i)
+        memory.emplace_back(cfg.dram);
+
+    // Attach sockets to evenly spaced live nodes.
+    const auto &live = map.nodes();
+    std::vector<Socket> sockets(
+        static_cast<std::size_t>(cfg.sockets));
+    std::vector<NodeId> attachments;
+    for (int s = 0; s < cfg.sockets; ++s) {
+        for (int a = 0; a < cfg.attachPerSocket; ++a) {
+            const std::size_t pick =
+                (static_cast<std::size_t>(s) * cfg.attachPerSocket +
+                 a) * live.size() /
+                (static_cast<std::size_t>(cfg.sockets) *
+                 cfg.attachPerSocket);
+            sockets[s].attach.push_back(live[pick]);
+            attachments.push_back(live[pick]);
+        }
+    }
+
+    // Optional mid-run power management (StringFigure only);
+    // socket attachment points are never gated.
+    auto *sf_topo = cfg.staticGating
+                        ? nullptr
+                        : dynamic_cast<core::StringFigure *>(&topo);
+    std::unique_ptr<mem::PowerManager> pm;
+    if (gate_to_live > 0 && sf_topo != nullptr) {
+        pm = std::make_unique<mem::PowerManager>(*sf_topo, net,
+                                                 mem::PowerParams{},
+                                                 sim_cfg.seed);
+        pm->setTarget(gate_to_live);
+        pm->setProtected(attachments);
+    }
+
+    // Round-robin op distribution across sockets.
+    std::vector<std::vector<std::uint64_t>> socket_ops(
+        sockets.size());
+    for (std::uint64_t i = 0; i < trace.ops.size(); ++i)
+        socket_ops[i % sockets.size()].push_back(i);
+
+    // Per-op bookkeeping.
+    std::vector<Cycle> issued_at(trace.ops.size(), 0);
+    std::vector<NodeId> reply_to(trace.ops.size(), 0);
+    std::uint64_t completed = 0;
+    std::uint64_t latency_sum = 0;
+    std::uint64_t hops_sum = 0;
+
+    std::priority_queue<PendingReply, std::vector<PendingReply>,
+                        std::greater<>> replies;
+    /** Ops to reissue after their target node was gated away. */
+    std::vector<std::uint64_t> reissue;
+
+    net.setDropHandler([&](const sim::Packet &p, Cycle) {
+        // The address's page now lives on a surviving node
+        // (migration); retry the whole operation there.
+        reissue.push_back(p.payload);
+    });
+
+    net.setDeliverHandler([&](const sim::Packet &p, Cycle at) {
+        const std::uint64_t op_index = p.payload;
+        const TraceOp &op = trace.ops[op_index];
+        hops_sum += p.hops;
+        if (p.msgClass == sim::kRequest) {
+            // Arrived at the memory node: access DRAM, then reply.
+            const Cycle done = memory[p.dst].access(
+                map.localAddr(op.addr), op.isWrite, at);
+            energy.addDram(64ull * 8);
+            const int flits = op.isWrite ? cfg.writeAckFlits
+                                         : cfg.readReplyFlits;
+            replies.push(PendingReply{done, p.dst,
+                                      reply_to[op_index], flits,
+                                      op_index});
+        } else {
+            // Reply back at the socket: the op completes.
+            ++completed;
+            latency_sum += at - issued_at[op_index];
+            const std::uint64_t sock = op_index % sockets.size();
+            --sockets[sock].outstanding;
+        }
+    });
+
+    std::uint64_t background_node_cycles = 0;
+    std::uint64_t reconfigs_seen = 0;
+    Cycle cycle = 0;
+    for (; completed < trace.ops.size() && cycle < cfg.maxCycles;
+         ++cycle) {
+        if (pm) {
+            pm->tick(cycle);
+            if (pm->reconfigOps() != reconfigs_seen) {
+                reconfigs_seen = pm->reconfigOps();
+                map.rebuild(topo);
+            }
+        }
+
+        // Retry operations whose packets were dropped by a
+        // reconfiguration, against the rebuilt address map.
+        if (!reissue.empty()) {
+            for (const std::uint64_t op_index : reissue) {
+                const TraceOp &op = trace.ops[op_index];
+                const NodeId attach = reply_to[op_index];
+                const NodeId target = map.node(op.addr);
+                const int flits = op.isWrite
+                                      ? cfg.writeRequestFlits
+                                      : cfg.readRequestFlits;
+                net.inject(attach, target, flits, sim::kRequest,
+                           cycle, op_index, true);
+            }
+            reissue.clear();
+        }
+
+        // Issue ready ops (timestamp arrived, window open).
+        for (auto &sock : sockets) {
+            const std::uint64_t sock_index =
+                static_cast<std::uint64_t>(&sock - sockets.data());
+            while (sock.nextOp < socket_ops[sock_index].size() &&
+                   sock.outstanding < cfg.window) {
+                const std::uint64_t op_index =
+                    socket_ops[sock_index][sock.nextOp];
+                const TraceOp &op = trace.ops[op_index];
+                if (cfg.respectTimestamps &&
+                    Trace::instrToCycles(op.instrId, cfg.cpi) >
+                        cycle)
+                    break;
+                const NodeId attach =
+                    sock.attach[sock.nextAttach++ %
+                                sock.attach.size()];
+                if (!topo.nodeAlive(attach))
+                    break;  // attachment gated: stall this socket
+                const NodeId target = map.node(op.addr);
+                issued_at[op_index] = cycle;
+                reply_to[op_index] = attach;
+                const int flits = op.isWrite
+                                      ? cfg.writeRequestFlits
+                                      : cfg.readRequestFlits;
+                net.inject(attach, target, flits, sim::kRequest,
+                           cycle, op_index, true);
+                ++sock.outstanding;
+                ++sock.nextOp;
+            }
+        }
+
+        // Inject DRAM replies that are ready.
+        while (!replies.empty() && replies.top().at <= cycle) {
+            const PendingReply &r = replies.top();
+            net.inject(r.from, r.to, r.flits, sim::kReply, cycle,
+                       r.opIndex, true);
+            replies.pop();
+        }
+
+        net.step(cycle);
+        background_node_cycles += map.numNodes();
+    }
+
+    result.runtimeCycles = cycle;
+    result.opsCompleted = completed;
+    result.finished = completed == trace.ops.size();
+    result.opsPerCycle = cycle ? static_cast<double>(completed) /
+                                 static_cast<double>(cycle)
+                               : 0.0;
+    // Network cycles are 3.2 ns; the 2 GHz CPU runs 6.4 CPU cycles
+    // per network cycle.
+    const double cpu_cycles = static_cast<double>(cycle) * 6.4;
+    result.ipc = cpu_cycles > 0
+                     ? static_cast<double>(trace.totalInstructions) *
+                       (static_cast<double>(completed) /
+                        static_cast<double>(trace.ops.size())) /
+                       cpu_cycles
+                     : 0.0;
+    result.avgOpLatency =
+        completed ? static_cast<double>(latency_sum) /
+                    static_cast<double>(completed)
+                  : 0.0;
+    result.avgHops = completed ? static_cast<double>(hops_sum) /
+                                 (2.0 * static_cast<double>(
+                                            completed))
+                               : 0.0;
+
+    energy.addFlitHops(net.stats().flitHops, sim_cfg.flitBits);
+    energy.addBackground(background_node_cycles);
+    result.networkPj = energy.networkPj();
+    result.dramPj = energy.dramPj();
+    result.backgroundPj = energy.backgroundPj();
+    result.totalPj = energy.totalPj();
+    result.edpJouleSeconds = energy.edp(cycle);
+    result.escapeTransfers = net.stats().escapeTransfers;
+    for (const auto &node : memory) {
+        result.rowHits += node.rowHits();
+        result.rowMisses += node.rowMisses();
+    }
+    return result;
+}
+
+} // namespace sf::wl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Trace replay: drives a workload trace through the memory network.
+ *
+ * Four CPU sockets (paper Table I) attach to disjoint sets of
+ * memory nodes. Trace operations are distributed round-robin over
+ * the sockets (parallel worker threads); each socket issues an
+ * operation when its timestamp has arrived and an MSHR-like
+ * outstanding window has room. A read sends a one-flit request and
+ * returns a five-flit data reply; a write sends five flits and
+ * returns a one-flit acknowledgement. The destination memory node
+ * models banked DRAM timing before answering. Energy follows the
+ * paper's per-bit constants; runtime, IPC-style throughput, and EDP
+ * come out per run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "mem/dram_timing.hpp"
+#include "mem/energy.hpp"
+#include "net/topology.hpp"
+#include "sim/sim_config.hpp"
+#include "workloads/trace.hpp"
+
+namespace sf::wl {
+
+/** Replay parameters. */
+struct ReplayConfig {
+    int sockets = 4;
+    /** Memory nodes each socket attaches to (terminal ports). */
+    int attachPerSocket = 4;
+    /** Outstanding requests per socket (MSHR window). */
+    int window = 64;
+    double cpi = 1.0;
+    int readRequestFlits = 1;
+    int readReplyFlits = 5;
+    int writeRequestFlits = 5;
+    int writeAckFlits = 1;
+    /**
+     * Gate op issue on trace timestamps (CPU-bound replay). The
+     * default issues as fast as the window allows (memory-bound
+     * replay): the paper's throughput comparison only differentiates
+     * networks when the memory system is the bottleneck.
+     */
+    bool respectTimestamps = false;
+    /** Interleave granularity of the address map. */
+    std::uint64_t interleaveBytes = 4096;
+    mem::DramTiming dram;
+    mem::EnergyParams energy;
+    /** Hard cycle cap (safety against livelocked configs). */
+    Cycle maxCycles = 30'000'000;
+    /**
+     * When gating is requested: true gates the victims up front
+     * (static reduction, the Fig 9(b) sweep), false lets the power
+     * manager gate dynamically during the run, one victim per
+     * 100 us reconfiguration window.
+     */
+    bool staticGating = true;
+};
+
+/** Outcome of one replay. */
+struct ReplayResult {
+    Cycle runtimeCycles = 0;
+    /** Instructions per 2 GHz CPU cycle (paper's throughput). */
+    double ipc = 0.0;
+    double opsPerCycle = 0.0;
+    double avgOpLatency = 0.0;   ///< request issue -> reply, cycles
+    double avgHops = 0.0;
+    double networkPj = 0.0;
+    double dramPj = 0.0;
+    double backgroundPj = 0.0;
+    double totalPj = 0.0;
+    double edpJouleSeconds = 0.0;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t escapeTransfers = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    bool finished = false;
+};
+
+/**
+ * Replay @p trace on @p topo.
+ *
+ * @param gate_to_live When non-zero and the topology is a
+ *        StringFigure, a PowerManager dynamically gates nodes until
+ *        only this many stay live, mid-run (paper Fig 9(b)).
+ */
+ReplayResult replayTrace(const Trace &trace, net::Topology &topo,
+                         const sim::SimConfig &sim_cfg,
+                         const ReplayConfig &cfg,
+                         std::size_t gate_to_live = 0);
+
+} // namespace sf::wl

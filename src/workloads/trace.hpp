@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Memory traces: the timestamped DRAM-access streams the paper's
+ * Pin-based tool collects (100,000 operations per workload after
+ * initialisation, timestamps from instruction id x average CPI).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::wl {
+
+/** One DRAM operation of a trace. */
+struct TraceOp {
+    /** Instruction id of the triggering instruction. */
+    std::uint64_t instrId = 0;
+    std::uint64_t addr = 0;
+    bool isWrite = false;
+};
+
+/** A complete workload trace. */
+struct Trace {
+    std::string workload;
+    std::vector<TraceOp> ops;
+    /** Total instructions the stream represents (IPC denominator). */
+    std::uint64_t totalInstructions = 0;
+    /** Cache hit statistics of the generating hierarchy. */
+    double l1HitRate = 0.0;
+    double l3HitRate = 0.0;
+
+    /**
+     * Timestamp of op @p i in network cycles: instruction id x CPI
+     * at a 2 GHz core, converted to 3.2 ns network cycles.
+     */
+    static std::uint64_t
+    instrToCycles(std::uint64_t instr_id, double cpi = 1.0)
+    {
+        const double ns = static_cast<double>(instr_id) * cpi * 0.5;
+        return static_cast<std::uint64_t>(ns / 3.2);
+    }
+};
+
+} // namespace sf::wl

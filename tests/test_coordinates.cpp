@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for virtual spaces and circular distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/coordinates.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::core;
+
+TEST(CircularDistance, BasicSymmetric)
+{
+    EXPECT_DOUBLE_EQ(circularDistance(0.1, 0.3), 0.2);
+    EXPECT_DOUBLE_EQ(circularDistance(0.3, 0.1), 0.2);
+    EXPECT_DOUBLE_EQ(circularDistance(0.9, 0.1), 0.2);  // wraps
+    EXPECT_DOUBLE_EQ(circularDistance(0.5, 0.5), 0.0);
+}
+
+TEST(CircularDistance, NeverExceedsHalf)
+{
+    for (double a = 0.0; a < 1.0; a += 0.07) {
+        for (double b = 0.0; b < 1.0; b += 0.013)
+            EXPECT_LE(circularDistance(a, b), 0.5);
+    }
+}
+
+TEST(ClockwiseDistance, Directed)
+{
+    EXPECT_DOUBLE_EQ(clockwiseDistance(0.1, 0.3), 0.2);
+    EXPECT_DOUBLE_EQ(clockwiseDistance(0.3, 0.1), 0.8);  // wraps
+    EXPECT_DOUBLE_EQ(clockwiseDistance(0.7, 0.7), 0.0);
+}
+
+TEST(VirtualSpaces, ShapeMatchesRequest)
+{
+    Rng rng(1);
+    const auto vs = VirtualSpaces::generate(100, 4, rng);
+    EXPECT_EQ(vs.numNodes(), 100u);
+    EXPECT_EQ(vs.numSpaces(), 4);
+    for (int s = 0; s < 4; ++s)
+        EXPECT_EQ(vs.ring(s).size(), 100u);
+}
+
+TEST(VirtualSpaces, BalancedCoordinatesEvenlySpaced)
+{
+    Rng rng(2);
+    const auto vs = VirtualSpaces::generate(10, 2, rng,
+                                            CoordMode::Balanced);
+    // Balanced mode assigns the slots k/10 exactly once per space.
+    for (int s = 0; s < 2; ++s) {
+        std::set<double> seen;
+        for (NodeId u = 0; u < 10; ++u)
+            seen.insert(vs.coord(u, s));
+        EXPECT_EQ(seen.size(), 10u);
+        for (double c : seen) {
+            const double scaled = c * 10.0;
+            EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+        }
+    }
+}
+
+TEST(VirtualSpaces, RingSortedByCoordinate)
+{
+    Rng rng(3);
+    const auto vs = VirtualSpaces::generate(64, 3, rng,
+                                            CoordMode::UniformRandom);
+    for (int s = 0; s < 3; ++s) {
+        const auto &ring = vs.ring(s);
+        for (std::size_t i = 0; i + 1 < ring.size(); ++i)
+            EXPECT_LE(vs.coord(ring[i], s), vs.coord(ring[i + 1], s));
+    }
+}
+
+TEST(VirtualSpaces, RingIndexInvertsRing)
+{
+    Rng rng(4);
+    const auto vs = VirtualSpaces::generate(32, 2, rng);
+    for (int s = 0; s < 2; ++s) {
+        for (std::size_t i = 0; i < 32; ++i)
+            EXPECT_EQ(vs.ringIndex(vs.ring(s)[i], s), i);
+    }
+}
+
+TEST(VirtualSpaces, RingAheadBehindRoundTrip)
+{
+    Rng rng(5);
+    const auto vs = VirtualSpaces::generate(20, 2, rng);
+    for (NodeId u = 0; u < 20; ++u) {
+        for (int s = 0; s < 2; ++s) {
+            EXPECT_EQ(vs.ringBehind(vs.ringAhead(u, s, 3), s, 3), u);
+            EXPECT_EQ(vs.ringAhead(u, s, 20), u);  // full loop
+        }
+    }
+}
+
+TEST(VirtualSpaces, MinCircularDistanceIsMinOverSpaces)
+{
+    Rng rng(6);
+    const auto vs = VirtualSpaces::generate(16, 3, rng);
+    for (NodeId u = 0; u < 16; ++u) {
+        for (NodeId v = 0; v < 16; ++v) {
+            double expected = 1.0;
+            for (int s = 0; s < 3; ++s)
+                expected = std::min(expected,
+                                    circularDistance(vs.coord(u, s),
+                                                     vs.coord(v, s)));
+            EXPECT_DOUBLE_EQ(vs.minCircularDistance(u, v), expected);
+        }
+    }
+}
+
+TEST(VirtualSpaces, SpacesAreIndependentPermutations)
+{
+    Rng rng(7);
+    const auto vs = VirtualSpaces::generate(128, 2, rng);
+    // The two rings should not be identical orderings.
+    EXPECT_NE(vs.ring(0), vs.ring(1));
+}
+
+TEST(VirtualSpaces, QuantizeSnapsToGrid)
+{
+    Rng rng(8);
+    auto vs = VirtualSpaces::generate(50, 2, rng,
+                                      CoordMode::UniformRandom);
+    vs.quantize(7);
+    for (NodeId u = 0; u < 50; ++u) {
+        for (int s = 0; s < 2; ++s) {
+            const double scaled = vs.coord(u, s) * 128.0;
+            EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+        }
+    }
+}
+
+TEST(VirtualSpaces, QuantizeKeepsRingsConsistent)
+{
+    Rng rng(9);
+    auto vs = VirtualSpaces::generate(300, 2, rng);
+    vs.quantize(7);  // 300 nodes in 128 slots: collisions guaranteed
+    for (int s = 0; s < 2; ++s) {
+        const auto &ring = vs.ring(s);
+        EXPECT_EQ(ring.size(), 300u);
+        for (std::size_t i = 0; i < ring.size(); ++i)
+            EXPECT_EQ(vs.ringIndex(ring[i], s), i);
+    }
+}
+
+TEST(VirtualSpaces, DeterministicForSeed)
+{
+    Rng a(10);
+    Rng b(10);
+    const auto va = VirtualSpaces::generate(64, 4, a);
+    const auto vb = VirtualSpaces::generate(64, 4, b);
+    for (NodeId u = 0; u < 64; ++u) {
+        for (int s = 0; s < 4; ++s)
+            EXPECT_DOUBLE_EQ(va.coord(u, s), vb.coord(u, s));
+    }
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the directed multigraph substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+
+namespace {
+
+using sf::kInvalidLink;
+using sf::LinkId;
+using sf::net::Graph;
+using sf::net::LinkKind;
+
+TEST(Graph, EmptyGraph)
+{
+    Graph g(4);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numLinks(), 0u);
+    EXPECT_EQ(g.numEnabledLinks(), 0u);
+    EXPECT_EQ(g.degreeOut(0), 0u);
+}
+
+TEST(Graph, AddDirectedLink)
+{
+    Graph g(3);
+    const LinkId id = g.addLink(0, 1, LinkKind::Ring, 2, 1);
+    EXPECT_EQ(g.link(id).src, 0u);
+    EXPECT_EQ(g.link(id).dst, 1u);
+    EXPECT_EQ(g.link(id).latency, 2u);
+    EXPECT_EQ(g.link(id).space, 1);
+    EXPECT_EQ(g.link(id).pairId, kInvalidLink);
+    EXPECT_EQ(g.degreeOut(0), 1u);
+    EXPECT_EQ(g.degreeIn(1), 1u);
+    EXPECT_EQ(g.degreeOut(1), 0u);
+}
+
+TEST(Graph, AddBidirectionalCreatesPair)
+{
+    Graph g(2);
+    const LinkId fwd = g.addBidirectional(0, 1);
+    const LinkId bwd = g.link(fwd).pairId;
+    ASSERT_NE(bwd, kInvalidLink);
+    EXPECT_EQ(g.link(bwd).src, 1u);
+    EXPECT_EQ(g.link(bwd).dst, 0u);
+    EXPECT_EQ(g.link(bwd).pairId, fwd);
+    EXPECT_EQ(g.numLinks(), 2u);
+}
+
+TEST(Graph, DisableHidesFromNeighbors)
+{
+    Graph g(3);
+    const LinkId id = g.addLink(0, 1);
+    g.addLink(0, 2);
+    EXPECT_EQ(g.neighborsOut(0).size(), 2u);
+    g.setEnabled(id, false);
+    const auto nbrs = g.neighborsOut(0);
+    ASSERT_EQ(nbrs.size(), 1u);
+    EXPECT_EQ(nbrs[0], 2u);
+    EXPECT_EQ(g.numEnabledLinks(), 1u);
+}
+
+TEST(Graph, SetWireEnabledTogglesBothDirections)
+{
+    Graph g(2);
+    const LinkId fwd = g.addBidirectional(0, 1);
+    g.setWireEnabled(fwd, false);
+    EXPECT_FALSE(g.link(fwd).enabled);
+    EXPECT_FALSE(g.link(g.link(fwd).pairId).enabled);
+    g.setWireEnabled(g.link(fwd).pairId, true);
+    EXPECT_TRUE(g.link(fwd).enabled);
+}
+
+TEST(Graph, FindLinkSkipsDisabled)
+{
+    Graph g(2);
+    const LinkId id = g.addLink(0, 1);
+    EXPECT_EQ(g.findLink(0, 1), id);
+    EXPECT_EQ(g.findLink(1, 0), kInvalidLink);
+    g.setEnabled(id, false);
+    EXPECT_EQ(g.findLink(0, 1), kInvalidLink);
+}
+
+TEST(Graph, ParallelLinksAllowed)
+{
+    Graph g(2);
+    g.addLink(0, 1);
+    g.addLink(0, 1);
+    EXPECT_EQ(g.degreeOut(0), 2u);
+    EXPECT_EQ(g.neighborsOut(0).size(), 2u);
+}
+
+TEST(Graph, SummaryMentionsCounts)
+{
+    Graph g(5);
+    g.addLink(0, 1);
+    g.addLink(1, 2);
+    const auto s = g.summary();
+    EXPECT_NE(s.find("nodes=5"), std::string::npos);
+    EXPECT_NE(s.find("links=2"), std::string::npos);
+}
+
+} // namespace

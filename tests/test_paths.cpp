@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for shortest-path analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "net/paths.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::net;
+
+/** Directed ring 0 -> 1 -> ... -> n-1 -> 0. */
+Graph
+directedRing(std::size_t n)
+{
+    Graph g(n);
+    for (NodeId u = 0; u < n; ++u)
+        g.addLink(u, (u + 1) % n);
+    return g;
+}
+
+TEST(Paths, BfsOnDirectedRing)
+{
+    const Graph g = directedRing(6);
+    const auto dist = bfsDistances(g, 0);
+    for (NodeId v = 0; v < 6; ++v)
+        EXPECT_EQ(dist[v], v);
+}
+
+TEST(Paths, BfsRespectsDisabledLinks)
+{
+    Graph g = directedRing(6);
+    g.setEnabled(g.findLink(2, 3), false);
+    const auto dist = bfsDistances(g, 0);
+    EXPECT_EQ(dist[2], 2);
+    EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Paths, BfsRespectsAliveMask)
+{
+    Graph g(4);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(1, 2);
+    g.addBidirectional(0, 3);
+    g.addBidirectional(3, 2);
+    std::vector<bool> alive{true, false, true, true};
+    const auto dist = bfsDistances(g, 0, alive);
+    EXPECT_EQ(dist[1], kUnreachable);
+    EXPECT_EQ(dist[2], 2);  // via node 3
+}
+
+TEST(Paths, AllPairsStatsOnRing)
+{
+    const Graph g = directedRing(5);
+    const auto stats = allPairsStats(g);
+    // Directed ring: distances 1..4 from each node, average 2.5.
+    EXPECT_EQ(stats.reachablePairs, 20u);
+    EXPECT_EQ(stats.unreachablePairs, 0u);
+    EXPECT_DOUBLE_EQ(stats.average, 2.5);
+    EXPECT_EQ(stats.diameter, 4);
+}
+
+TEST(Paths, PercentilesOrdered)
+{
+    const Graph g = directedRing(32);
+    const auto stats = allPairsStats(g);
+    EXPECT_LE(stats.p10, stats.p90);
+    EXPECT_LE(stats.p90, stats.diameter);
+    EXPECT_GT(stats.p10, 0);
+}
+
+TEST(Paths, DistanceTableMatchesBfs)
+{
+    Graph g(5);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(1, 2);
+    g.addBidirectional(2, 3);
+    g.addBidirectional(3, 4);
+    const auto table = distanceTable(g);
+    for (NodeId u = 0; u < 5; ++u) {
+        const auto row = bfsDistances(g, u);
+        for (NodeId v = 0; v < 5; ++v)
+            EXPECT_EQ(table[u * 5 + v], row[v]);
+    }
+}
+
+TEST(Paths, StronglyConnectedRing)
+{
+    EXPECT_TRUE(stronglyConnected(directedRing(8)));
+}
+
+TEST(Paths, NotStronglyConnectedWhenCut)
+{
+    Graph g = directedRing(8);
+    g.setEnabled(g.findLink(3, 4), false);
+    EXPECT_FALSE(stronglyConnected(g));
+}
+
+TEST(Paths, StronglyConnectedIgnoresGatedNodes)
+{
+    // 0 <-> 1 <-> 2 with node 2 gated: {0, 1} remains connected.
+    Graph g(3);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(1, 2);
+    std::vector<bool> alive{true, true, false};
+    EXPECT_TRUE(stronglyConnected(g, alive));
+}
+
+TEST(Paths, SingleNodeGraphIsConnected)
+{
+    Graph g(1);
+    EXPECT_TRUE(stronglyConnected(g));
+}
+
+TEST(Paths, UnreachablePairsCounted)
+{
+    Graph g(4);
+    g.addBidirectional(0, 1);
+    g.addBidirectional(2, 3);
+    const auto stats = allPairsStats(g);
+    EXPECT_EQ(stats.reachablePairs, 4u);
+    EXPECT_EQ(stats.unreachablePairs, 8u);
+}
+
+} // namespace

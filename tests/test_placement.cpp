@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for 2D grid placement and wire-length latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/placement.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::net;
+
+TEST(Placement, RowMajorPositions)
+{
+    const auto p = Placement::rowMajor(9);
+    EXPECT_EQ(p.columns(), 3);
+    EXPECT_EQ(p.pos(0).x, 0);
+    EXPECT_EQ(p.pos(0).y, 0);
+    EXPECT_EQ(p.pos(4).x, 1);
+    EXPECT_EQ(p.pos(4).y, 1);
+    EXPECT_EQ(p.pos(8).x, 2);
+    EXPECT_EQ(p.pos(8).y, 2);
+}
+
+TEST(Placement, NonSquareCounts)
+{
+    const auto p = Placement::rowMajor(10);
+    EXPECT_EQ(p.columns(), 4);
+    EXPECT_EQ(p.numNodes(), 10u);
+}
+
+TEST(Placement, ManhattanWireLength)
+{
+    const auto p = Placement::rowMajor(9);
+    EXPECT_EQ(p.wireLength(0, 8), 4u);  // (0,0) to (2,2)
+    EXPECT_EQ(p.wireLength(0, 0), 0u);
+    EXPECT_EQ(p.wireLength(3, 5), 2u);  // (0,1) to (2,1)
+}
+
+TEST(Placement, LinkLatencyPerTenUnits)
+{
+    const auto p = Placement::rowMajor(1296);  // 36 x 36
+    // Distance 0..9 -> 1 cycle; 10..19 -> 2 cycles, per the paper's
+    // "extra one-hop latency per wire length of ten nodes".
+    EXPECT_EQ(p.linkLatency(0, 1), 1u);
+    EXPECT_EQ(p.linkLatency(0, 9), 1u);
+    EXPECT_EQ(p.linkLatency(0, 10), 2u);
+    EXPECT_EQ(p.linkLatency(0, 35), 4u);  // distance 35
+}
+
+TEST(Placement, SnakeOrderKeepsConsecutiveAdjacent)
+{
+    std::vector<NodeId> order(16);
+    std::iota(order.begin(), order.end(), 0u);
+    const auto p = Placement::snakeOrder(order);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+        EXPECT_EQ(p.wireLength(order[i], order[i + 1]), 1u)
+            << "at index " << i;
+}
+
+TEST(Placement, SnakeOrderPermutedInput)
+{
+    const std::vector<NodeId> order{3, 1, 4, 0, 5, 2, 7, 6, 8};
+    const auto p = Placement::snakeOrder(order);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+        EXPECT_EQ(p.wireLength(order[i], order[i + 1]), 1u);
+}
+
+TEST(Placement, ShortLinkFraction)
+{
+    Graph g(9);
+    g.addLink(0, 1);  // distance 1
+    g.addLink(0, 8);  // distance 4
+    const auto p = Placement::rowMajor(9);
+    EXPECT_DOUBLE_EQ(p.shortLinkFraction(g, 3), 0.5);
+    EXPECT_DOUBLE_EQ(p.shortLinkFraction(g, 4), 1.0);
+}
+
+TEST(Placement, AverageWireLength)
+{
+    Graph g(9);
+    g.addLink(0, 1);  // 1
+    g.addLink(0, 8);  // 4
+    const auto p = Placement::rowMajor(9);
+    EXPECT_DOUBLE_EQ(p.averageWireLength(g), 2.5);
+}
+
+TEST(Placement, ApplyPlacementLatency)
+{
+    Graph g(1296);
+    const LinkId near = g.addLink(0, 1);
+    const LinkId far = g.addLink(0, 1295);
+    const auto p = Placement::rowMajor(1296);
+    applyPlacementLatency(g, p);
+    EXPECT_EQ(g.link(near).latency, 1u);
+    EXPECT_EQ(g.link(far).latency, 8u);  // distance 70 -> 1 + 7
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "net/rng.hpp"
+
+namespace {
+
+using sf::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 95);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    std::vector<int> buckets(10, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++buckets[rng.below(10)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, draws / 10, draws / 100);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_TRUE(std::is_permutation(shuffled.begin(), shuffled.end(),
+                                    v.begin()));
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(19);
+    std::vector<int> v(64);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<int>(i);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the simulation statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace sf::sim;
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(LatencyHistogram, MeanOfKnownSamples)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LatencyHistogram, PercentilesOfUniformRamp)
+{
+    LatencyHistogram h;
+    for (sf::Cycle latency = 0; latency < 100; ++latency)
+        h.record(latency);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 49.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 89.0, 1.0);
+    EXPECT_EQ(h.percentile(1.0), 99u);
+}
+
+TEST(LatencyHistogram, OverflowBucketKeepsCountAndMean)
+{
+    LatencyHistogram h(16);
+    h.record(8);
+    h.record(1000);  // beyond the bins
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 504.0);
+    // The overflowed sample reports as "beyond the last bin".
+    EXPECT_EQ(h.percentile(1.0), 16u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything)
+{
+    LatencyHistogram h;
+    h.record(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(NetStats, AvgHopsGuardsDivisionByZero)
+{
+    NetStats stats;
+    EXPECT_DOUBLE_EQ(stats.avgHops(), 0.0);
+    stats.measuredPackets = 4;
+    stats.measuredHops = 14;
+    EXPECT_DOUBLE_EQ(stats.avgHops(), 3.5);
+}
+
+} // namespace

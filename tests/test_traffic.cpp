@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests for the Table III traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::sim;
+
+TEST(Traffic, NamesMatchPaperTable3)
+{
+    EXPECT_EQ(patternName(TrafficPattern::UniformRandom), "uniform");
+    EXPECT_EQ(patternName(TrafficPattern::Tornado), "tornado");
+    EXPECT_EQ(patternName(TrafficPattern::Hotspot), "hotspot");
+    EXPECT_EQ(patternName(TrafficPattern::Opposite), "opposite");
+    EXPECT_EQ(patternName(TrafficPattern::NearestNeighbor),
+              "neighbor");
+    EXPECT_EQ(patternName(TrafficPattern::Complement), "complement");
+    EXPECT_EQ(patternName(TrafficPattern::Partition2), "partition2");
+}
+
+TEST(Traffic, DestinationsAlwaysInRange)
+{
+    Rng rng(1);
+    for (const auto pattern : kAllPatterns) {
+        for (const std::size_t n : {16u, 17u, 61u, 64u, 1296u}) {
+            for (int i = 0; i < 200; ++i) {
+                const auto src = static_cast<NodeId>(rng.below(n));
+                const NodeId dst =
+                    trafficDestination(pattern, src, n, rng);
+                ASSERT_LT(dst, n)
+                    << patternName(pattern) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Traffic, TornadoIsHalfwayShift)
+{
+    Rng rng(2);
+    EXPECT_EQ(trafficDestination(TrafficPattern::Tornado, 0, 64,
+                                 rng),
+              32u);
+    EXPECT_EQ(trafficDestination(TrafficPattern::Tornado, 40, 64,
+                                 rng),
+              8u);  // wraps
+}
+
+TEST(Traffic, TornadoIsAPermutation)
+{
+    Rng rng(3);
+    std::set<NodeId> dests;
+    for (NodeId src = 0; src < 61; ++src)
+        dests.insert(trafficDestination(TrafficPattern::Tornado,
+                                        src, 61, rng));
+    EXPECT_EQ(dests.size(), 61u);
+}
+
+TEST(Traffic, HotspotIsConstant)
+{
+    Rng rng(4);
+    const NodeId first =
+        trafficDestination(TrafficPattern::Hotspot, 0, 128, rng);
+    for (NodeId src = 1; src < 128; ++src)
+        EXPECT_EQ(trafficDestination(TrafficPattern::Hotspot, src,
+                                     128, rng),
+                  first);
+}
+
+TEST(Traffic, OppositeIsSelfInverse)
+{
+    Rng rng(5);
+    for (NodeId src = 0; src < 100; ++src) {
+        const NodeId dst = trafficDestination(
+            TrafficPattern::Opposite, src, 100, rng);
+        EXPECT_EQ(trafficDestination(TrafficPattern::Opposite, dst,
+                                     100, rng),
+                  src);
+    }
+}
+
+TEST(Traffic, NeighborIsUnitShift)
+{
+    Rng rng(6);
+    EXPECT_EQ(trafficDestination(TrafficPattern::NearestNeighbor,
+                                 5, 64, rng),
+              6u);
+    EXPECT_EQ(trafficDestination(TrafficPattern::NearestNeighbor,
+                                 63, 64, rng),
+              0u);  // wraps
+}
+
+TEST(Traffic, ComplementOnPowerOfTwoIsBitwise)
+{
+    Rng rng(7);
+    for (NodeId src = 0; src < 64; ++src)
+        EXPECT_EQ(trafficDestination(TrafficPattern::Complement,
+                                     src, 64, rng),
+                  src ^ 63u);
+}
+
+TEST(Traffic, Partition2KeepsTrafficInOwnHalf)
+{
+    Rng rng(8);
+    for (int i = 0; i < 2000; ++i) {
+        const auto src = static_cast<NodeId>(rng.below(128));
+        const NodeId dst = trafficDestination(
+            TrafficPattern::Partition2, src, 128, rng);
+        EXPECT_EQ(src < 64, dst < 64);
+    }
+}
+
+TEST(Traffic, UniformCoversTheNetwork)
+{
+    Rng rng(9);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(trafficDestination(
+            TrafficPattern::UniformRandom, 0, 64, rng));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+/** Destination distribution sweep across node counts. */
+class TrafficSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TrafficSweep, DeterministicGivenRngState)
+{
+    const auto [pattern_index, n] = GetParam();
+    const auto pattern = kAllPatterns[pattern_index];
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 200; ++i) {
+        const auto src = static_cast<NodeId>(i % n);
+        EXPECT_EQ(trafficDestination(pattern, src,
+                                     static_cast<std::size_t>(n),
+                                     a),
+                  trafficDestination(pattern, src,
+                                     static_cast<std::size_t>(n),
+                                     b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndSizes, TrafficSweep,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(16, 61, 1296)));
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the up*-down* escape routing tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "net/updown.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::net;
+
+/** Follow escape next-hops from src to dst; -1 on failure. */
+int
+walk(const Graph &g, const UpDownRouting &ud, NodeId src, NodeId dst)
+{
+    NodeId at = src;
+    bool up_allowed = true;
+    for (int hops = 0; hops < 4 * static_cast<int>(g.numNodes());
+         ++hops) {
+        if (at == dst)
+            return hops;
+        const LinkId next = ud.nextLink(at, dst, up_allowed);
+        if (next == kInvalidLink)
+            return -1;
+        if (!ud.isUp(next))
+            up_allowed = false;
+        else if (!up_allowed)
+            return -2;  // illegal up after down
+        at = g.link(next).dst;
+    }
+    return -1;
+}
+
+Graph
+bidirMesh(int rows, int cols)
+{
+    Graph g(static_cast<std::size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const NodeId u = static_cast<NodeId>(r * cols + c);
+            if (c + 1 < cols)
+                g.addBidirectional(u, u + 1);
+            if (r + 1 < rows)
+                g.addBidirectional(u, u + cols);
+        }
+    }
+    return g;
+}
+
+TEST(UpDown, AllPairsLegalRoutesOnMesh)
+{
+    const Graph g = bidirMesh(5, 5);
+    const UpDownRouting ud(g);
+    for (NodeId s = 0; s < 25; ++s) {
+        for (NodeId t = 0; t < 25; ++t) {
+            if (s == t)
+                continue;
+            EXPECT_GT(walk(g, ud, s, t), 0) << s << "->" << t;
+        }
+    }
+}
+
+TEST(UpDown, RespectsAliveMask)
+{
+    const Graph g = bidirMesh(3, 3);
+    std::vector<bool> alive(9, true);
+    alive[4] = false;  // gate the centre
+    const UpDownRouting ud(g, alive);
+    for (NodeId s = 0; s < 9; ++s) {
+        for (NodeId t = 0; t < 9; ++t) {
+            if (s == t || s == 4 || t == 4)
+                continue;
+            const int hops = walk(g, ud, s, t);
+            EXPECT_GT(hops, 0) << s << "->" << t;
+        }
+    }
+    EXPECT_FALSE(ud.reachable(0, 4));
+}
+
+TEST(UpDown, UpLinksAscendTowardRoot)
+{
+    const Graph g = bidirMesh(4, 4);
+    const UpDownRouting ud(g);
+    // Each bidirectional wire: exactly one direction is "up".
+    for (LinkId id = 0; id < static_cast<LinkId>(g.numLinks());
+         id += 2) {
+        EXPECT_NE(ud.isUp(id), ud.isUp(id + 1));
+    }
+}
+
+TEST(UpDown, DirectedRingHasLimitedEscape)
+{
+    // Pure clockwise ring: up*-down* cannot cover all pairs (this
+    // is why String Figure uses the dateline ring escape instead).
+    Graph g(6);
+    for (NodeId u = 0; u < 6; ++u)
+        g.addLink(u, (u + 1) % 6);
+    const UpDownRouting ud(g);
+    int unreachable = 0;
+    for (NodeId s = 0; s < 6; ++s) {
+        for (NodeId t = 0; t < 6; ++t) {
+            if (s != t && walk(g, ud, s, t) < 0)
+                ++unreachable;
+        }
+    }
+    EXPECT_GT(unreachable, 0);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the cache model, workload trace generators, and the
+ * trace replay engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/string_figure.hpp"
+#include "topos/mesh.hpp"
+#include "workloads/cache_model.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/replay.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::wl;
+
+TEST(CacheLevel, HitAfterFill)
+{
+    CacheLevel cache(32 * 1024, 4);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit);  // same line
+    EXPECT_FALSE(cache.access(0x1040, false).hit); // next line
+}
+
+TEST(CacheLevel, LruEviction)
+{
+    // 4-way set: the 5th distinct line in one set evicts the LRU.
+    CacheLevel cache(32 * 1024, 4);  // 128 sets, 64B lines
+    const std::uint64_t set_stride = 128 * 64;
+    for (int i = 0; i < 4; ++i)
+        cache.access(i * set_stride, false);
+    cache.access(0, false);  // refresh line 0
+    cache.access(4 * set_stride, false);  // evicts line 1
+    EXPECT_TRUE(cache.access(0, false).hit);
+    EXPECT_FALSE(cache.access(1 * set_stride, false).hit);
+}
+
+TEST(CacheLevel, DirtyEvictionReported)
+{
+    CacheLevel cache(32 * 1024, 4);
+    const std::uint64_t set_stride = 128 * 64;
+    cache.access(0, true);  // dirty
+    for (int i = 1; i < 5; ++i) {
+        const auto out = cache.access(i * set_stride, false);
+        if (out.evictedDirty) {
+            EXPECT_EQ(out.evictedLine, 0u);
+            return;
+        }
+    }
+    FAIL() << "dirty line never evicted";
+}
+
+TEST(CacheHierarchy, StreamMissesReachDram)
+{
+    CacheHierarchy caches;
+    std::vector<MemAccess> dram;
+    // A long streaming scan: every new 64B line misses all levels.
+    for (std::uint64_t addr = 0; addr < 1024 * 1024; addr += 64)
+        caches.access(addr, false, dram);
+    EXPECT_EQ(dram.size(), 1024u * 1024 / 64);
+}
+
+TEST(CacheHierarchy, HotSetStaysCached)
+{
+    CacheHierarchy caches;
+    std::vector<MemAccess> dram;
+    for (int rep = 0; rep < 100; ++rep) {
+        for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64)
+            caches.access(addr, false, dram);
+    }
+    // Only the first sweep misses.
+    EXPECT_EQ(dram.size(), 16u * 1024 / 64);
+}
+
+TEST(Generators, AllWorkloadsProduceFullTraces)
+{
+    for (const Workload w : kAllWorkloads) {
+        const Trace trace = generateTrace(w, 1, 2000);
+        EXPECT_EQ(trace.ops.size(), 2000u) << workloadName(w);
+        EXPECT_GT(trace.totalInstructions, 2000u);
+        // Timestamps must be monotonically non-decreasing.
+        for (std::size_t i = 1; i < trace.ops.size(); ++i)
+            ASSERT_GE(trace.ops[i].instrId,
+                      trace.ops[i - 1].instrId);
+    }
+}
+
+TEST(Generators, Deterministic)
+{
+    const Trace a = generateTrace(Workload::Redis, 7, 1000);
+    const Trace b = generateTrace(Workload::Redis, 7, 1000);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].addr, b.ops[i].addr);
+        EXPECT_EQ(a.ops[i].isWrite, b.ops[i].isWrite);
+    }
+}
+
+TEST(Generators, WorkloadsHaveDistinctCharacter)
+{
+    // Grep streams (low write share); wordcount aggregates (high
+    // write share from hash updates + writebacks).
+    const Trace grep = generateTrace(Workload::SparkGrep, 1, 5000);
+    const Trace wc = generateTrace(Workload::SparkWordcount, 1,
+                                   5000);
+    const auto write_share = [](const Trace &t) {
+        std::size_t w = 0;
+        for (const auto &op : t.ops)
+            w += op.isWrite ? 1 : 0;
+        return static_cast<double>(w) /
+               static_cast<double>(t.ops.size());
+    };
+    EXPECT_LT(write_share(grep), 0.1);
+    EXPECT_GT(write_share(wc), 0.2);
+    // Kmeans revisits its hot centroids: higher L1 hit rate than
+    // the random-key redis stream.
+    const Trace km = generateTrace(Workload::Kmeans, 1, 5000);
+    const Trace rd = generateTrace(Workload::Redis, 1, 5000);
+    EXPECT_GT(km.l1HitRate, rd.l1HitRate);
+}
+
+TEST(Generators, AddressesSpreadAcrossSpace)
+{
+    const Trace trace = generateTrace(Workload::Pagerank, 3, 5000);
+    std::set<std::uint64_t> pages;
+    for (const auto &op : trace.ops)
+        pages.insert(op.addr / 4096);
+    EXPECT_GT(pages.size(), 1000u);
+}
+
+TEST(Replay, CompletesOnStringFigure)
+{
+    core::SFParams p;
+    p.numNodes = 32;
+    p.routerPorts = 8;
+    core::StringFigure topo(p);
+    const Trace trace = generateTrace(Workload::Redis, 1, 3000);
+    sim::SimConfig sim_cfg;
+    ReplayConfig cfg;
+    const auto result = replayTrace(trace, topo, sim_cfg, cfg);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.opsCompleted, 3000u);
+    EXPECT_GT(result.runtimeCycles, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.avgOpLatency, 10.0);
+    EXPECT_GT(result.networkPj, 0.0);
+    EXPECT_GT(result.dramPj, 0.0);
+    EXPECT_GT(result.edpJouleSeconds, 0.0);
+}
+
+TEST(Replay, CompletesOnMesh)
+{
+    topos::MeshTopology mesh(4, 8);
+    const Trace trace = generateTrace(Workload::MatMul, 1, 3000);
+    sim::SimConfig sim_cfg;
+    ReplayConfig cfg;
+    const auto result = replayTrace(trace, mesh, sim_cfg, cfg);
+    EXPECT_TRUE(result.finished);
+    EXPECT_GT(result.rowHits + result.rowMisses, 0u);
+}
+
+TEST(Replay, DramEnergyMatchesOpCount)
+{
+    core::SFParams p;
+    p.numNodes = 16;
+    p.routerPorts = 4;
+    core::StringFigure topo(p);
+    const Trace trace = generateTrace(Workload::SparkGrep, 2, 1000);
+    sim::SimConfig sim_cfg;
+    ReplayConfig cfg;
+    const auto result = replayTrace(trace, topo, sim_cfg, cfg);
+    ASSERT_TRUE(result.finished);
+    // 12 pJ/bit x 512 bits per 64B access x 1000 accesses.
+    EXPECT_DOUBLE_EQ(result.dramPj, 12.0 * 512 * 1000);
+}
+
+TEST(Replay, PowerGatingMidRunStillCompletes)
+{
+    core::SFParams p;
+    p.numNodes = 64;
+    p.routerPorts = 8;
+    core::StringFigure topo(p);
+    const Trace trace = generateTrace(Workload::Memcached, 1, 4000);
+    sim::SimConfig sim_cfg;
+    ReplayConfig cfg;
+    const auto result = replayTrace(trace, topo, sim_cfg, cfg, 48);
+    EXPECT_TRUE(result.finished);
+    EXPECT_LE(topo.reconfig().numAlive(), 64u);
+}
+
+TEST(Replay, SlowerNetworkGivesLowerThroughput)
+{
+    // The same trace on SF vs a small mesh: relative IPC ordering
+    // should reflect network quality (SF >= DM at this scale).
+    const Trace trace = generateTrace(Workload::Pagerank, 1, 3000);
+    sim::SimConfig sim_cfg;
+    ReplayConfig cfg;
+
+    core::SFParams p;
+    p.numNodes = 64;
+    p.routerPorts = 8;
+    core::StringFigure sf_topo(p);
+    topos::MeshTopology mesh(8, 8);
+
+    const auto sf_result = replayTrace(trace, sf_topo, sim_cfg, cfg);
+    const auto dm_result = replayTrace(trace, mesh, sim_cfg, cfg);
+    ASSERT_TRUE(sf_result.finished);
+    ASSERT_TRUE(dm_result.finished);
+    EXPECT_GT(sf_result.ipc, 0.8 * dm_result.ipc);
+}
+
+} // namespace
