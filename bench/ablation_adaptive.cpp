@@ -1,94 +1,14 @@
 /**
  * @file
- * Ablations on the two remaining design knobs:
- *
- *  (a) Adaptive first-hop routing (paper Section III-B): divert the
- *      first hop to a lightly loaded progress-making port vs pure
- *      greediest. Measured as saturation throughput.
- *  (b) Balanced coordinates (paper Fig 4's BalancedCoordinateGen):
- *      evenly spaced ring slots vs i.i.d. uniform coordinates,
- *      which skew per-link load.
+ * Thin wrapper over the sf::exp registry: runs the
+ * adaptive-routing and coordinate-balance experiment(s) — the same grid `sfx run 'ablation_adaptive,ablation_balance'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/paths.hpp"
-#include "sim/simulator.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Ablation: adaptivity & balance",
-                  "first-hop adaptive routing and balanced "
-                  "coordinates",
-                  effort);
-
-    const std::size_t n =
-        effort == bench::Effort::Quick ? 64 : 256;
-    sim::SimConfig base_cfg;
-    base_cfg.seed = bench::kSeed;
-    sim::RunPhases phases;
-    phases.warmup = 800;
-    phases.measure = 2000;
-    phases.drainLimit = 12000;
-
-    std::printf("(a) adaptive vs deterministic greediest "
-                "(%zu nodes, saturation rate)\n",
-                n);
-    bench::row({"pattern", "adaptive", "greedy-only"}, 13);
-    for (const auto pattern :
-         {sim::TrafficPattern::UniformRandom,
-          sim::TrafficPattern::Tornado,
-          sim::TrafficPattern::Hotspot}) {
-        core::SFParams params;
-        params.numNodes = n;
-        params.routerPorts = n <= 128 ? 4 : 8;
-        params.seed = bench::kSeed;
-        const core::StringFigure topo(params);
-        double sat[2];
-        for (const bool adaptive : {true, false}) {
-            sim::SimConfig cfg = base_cfg;
-            cfg.adaptive = adaptive;
-            sat[adaptive ? 0 : 1] = sim::findSaturationRate(
-                topo, pattern, cfg, phases, 0.12);
-            std::fflush(stdout);
-        }
-        bench::row({sim::patternName(pattern),
-                    bench::fmt("%.3f", sat[0]),
-                    bench::fmt("%.3f", sat[1])},
-                   13);
-    }
-
-    std::printf("\n(b) balanced vs uniform-random coordinates "
-                "(%zu nodes)\n", n);
-    bench::row({"coords", "avg-hops", "diameter", "sat-uniform"},
-               13);
-    for (const auto mode : {core::CoordMode::Balanced,
-                            core::CoordMode::UniformRandom}) {
-        core::SFParams params;
-        params.numNodes = n;
-        params.routerPorts = n <= 128 ? 4 : 8;
-        params.seed = bench::kSeed;
-        params.coordMode = mode;
-        const core::StringFigure topo(params);
-        const auto stats = net::allPairsStats(topo.graph());
-        const double sat = sim::findSaturationRate(
-            topo, sim::TrafficPattern::UniformRandom, base_cfg,
-            phases, 0.12);
-        bench::row({mode == core::CoordMode::Balanced
-                        ? "balanced" : "uniform",
-                    bench::fmt("%.2f", stats.average),
-                    bench::fmt("%u", stats.diameter),
-                    bench::fmt("%.3f", sat)},
-                   13);
-        std::fflush(stdout);
-    }
-    std::printf("\nTakeaway: adaptivity helps most when load "
-                "concentrates (tornado);\nbalanced slots avoid the "
-                "long-arc links that make i.i.d. coordinates\n"
-                "congestion-prone (the paper's 'imbalanced "
-                "connections' concern).\n");
-    return 0;
+    return sf::exp::benchMain("ablation_adaptive,ablation_balance", argc, argv);
 }

@@ -1,142 +1,14 @@
 /**
  * @file
- * Reconfiguration ablation (paper Section III-C design choices):
- *
- *  (a) Repair-wire inventory: the paper's space-0 shortcuts only
- *      (faithful) vs spare wires in every space (our extension that
- *      preserves the loop-freedom proof under gating). Measures
- *      ring holes, escape-path reliance, and routed path quality as
- *      the network scales down.
- *  (b) Down-scaling envelope: how far sequential gating can shrink
- *      the network while every ring stays repairable.
+ * Thin wrapper over the sf::exp registry: runs the
+ * reconfiguration experiment(s) — the same grid `sfx run 'ablation_reconfig_repair,ablation_reconfig_envelope'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/paths.hpp"
-#include "net/rng.hpp"
-#include "net/topology.hpp"
-
-namespace {
-
-using namespace sf;
-
-struct Probe {
-    double avgHops = 0.0;
-    double delivered = 0.0;
-    std::uint64_t fallbackHops = 0;
-};
-
-Probe
-probeRouting(const core::StringFigure &topo, int samples, Rng &rng)
-{
-    Probe probe;
-    const std::size_t n = topo.numNodes();
-    int delivered = 0;
-    int total = 0;
-    double sum = 0.0;
-    for (int i = 0; i < samples; ++i) {
-        const auto s = static_cast<NodeId>(rng.below(n));
-        const auto t = static_cast<NodeId>(rng.below(n));
-        if (s == t || !topo.nodeAlive(s) || !topo.nodeAlive(t))
-            continue;
-        ++total;
-        const int hops = net::routedHops(topo, s, t);
-        if (hops > 0) {
-            sum += hops;
-            ++delivered;
-        }
-    }
-    probe.avgHops = delivered ? sum / delivered : -1.0;
-    probe.delivered = total ? 100.0 * delivered / total : 0.0;
-    probe.fallbackHops = topo.fallbackCount();
-    return probe;
-}
-
-} // namespace
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Ablation: reconfiguration",
-                  "repair-wire inventory and down-scaling envelope",
-                  effort);
-    const std::size_t n =
-        effort == bench::Effort::Quick ? 128 : 256;
-    const int samples =
-        effort == bench::Effort::Full ? 40000 : 15000;
-
-    std::printf("(a) repair modes while scaling %zu nodes down\n"
-                "    ('live' is what the victim search achieved: "
-                "the faithful shortcut\n    inventory can repair "
-                "almost no ring off space 0, so it refuses most\n"
-                "    victims — the headline result of this "
-                "ablation)\n",
-                n);
-    bench::row({"target", "mode", "live", "holes", "avg-hops",
-                "escape-hops", "delivered"}, 12);
-    for (const double fraction : {0.1, 0.25, 0.4}) {
-        for (const auto mode :
-             {core::RepairMode::AllSpaces,
-              core::RepairMode::ShortcutsOnly}) {
-            core::SFParams params;
-            params.numNodes = n;
-            params.routerPorts = 8;
-            params.seed = bench::kSeed;
-            params.repairMode = mode;
-            core::StringFigure topo(params);
-            Rng rng(bench::kSeed + static_cast<int>(fraction * 100));
-            topo.reduceTo(
-                static_cast<std::size_t>(n * (1.0 - fraction)),
-                rng);
-            Rng probe_rng(bench::kSeed);
-            const auto probe = probeRouting(topo, samples,
-                                            probe_rng);
-            bench::row(
-                {bench::fmt("%zu", static_cast<std::size_t>(
-                                       n * (1.0 - fraction))),
-                 mode == core::RepairMode::AllSpaces
-                     ? "all-spaces" : "shortcuts",
-                 bench::fmt("%zu", topo.reconfig().numAlive()),
-                 bench::fmt("%d", topo.reconfig().currentHoles()),
-                 bench::fmt("%.2f", probe.avgHops),
-                 bench::fmt("%llu",
-                            static_cast<unsigned long long>(
-                                probe.fallbackHops)),
-                 bench::fmt("%.1f%%", probe.delivered)},
-                12);
-        }
-    }
-
-    std::printf("\n(b) down-scaling envelope (sequential random "
-                "gating, all-spaces wires)\n");
-    bench::row({"nodes", "requested", "achieved", "achieved%"},
-               12);
-    for (const std::size_t size : {128u, 256u, 1024u}) {
-        if (effort == bench::Effort::Quick && size > 256)
-            break;
-        core::SFParams params;
-        params.numNodes = size;
-        params.routerPorts = 8;
-        params.seed = bench::kSeed;
-        core::StringFigure topo(params);
-        Rng rng(bench::kSeed);
-        topo.reduceTo(8, rng);  // request an extreme reduction
-        const std::size_t live = topo.reconfig().numAlive();
-        bench::row({bench::fmt("%zu", size), "8",
-                    bench::fmt("%zu", live),
-                    bench::fmt("%.0f%%",
-                               100.0 * static_cast<double>(live) /
-                                   size)},
-                   12);
-    }
-    std::printf("\nTakeaway: the faithful shortcut inventory leaves"
-                " ring holes off space 0\nand leans on the escape "
-                "path; all-space spares keep greedy routing\n"
-                "self-sufficient. Sequential gating bottoms out "
-                "near ~60-65%% live —\ndeeper static reductions "
-                "need the regenerate-per-scale flow the paper\n"
-                "uses for S2-ideal (see DESIGN.md).\n");
-    return 0;
+    return sf::exp::benchMain("ablation_reconfig_repair,ablation_reconfig_envelope", argc, argv);
 }

@@ -1,131 +1,14 @@
 /**
  * @file
- * Paper Section III-B sensitivity: the value of two-hop routing
- * table entries ("based on our sensitivity studies ... we compute
- * MD with both one- and two-hop neighbor information"), plus the
- * cost of quantising table coordinates to few bits (the hardware
- * stores 7-bit coordinates).
+ * Thin wrapper over the sf::exp registry: runs the
+ * routing-table experiment(s) — the same grid `sfx run 'ablation_two_hop,ablation_coord_bits'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/rng.hpp"
-#include "net/topology.hpp"
-
-namespace {
-
-double
-averageRoutedHops(const sf::core::StringFigure &topo, int samples,
-                  sf::Rng &rng)
-{
-    const std::size_t n = topo.numNodes();
-    double sum = 0.0;
-    int count = 0;
-    for (int i = 0; i < samples; ++i) {
-        const auto s = static_cast<sf::NodeId>(rng.below(n));
-        const auto t = static_cast<sf::NodeId>(rng.below(n));
-        if (s == t)
-            continue;
-        const int hops = sf::net::routedHops(topo, s, t);
-        if (hops > 0) {
-            sum += hops;
-            ++count;
-        }
-    }
-    return count ? sum / count : -1.0;
-}
-
-} // namespace
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Ablation: routing table",
-                  "two-hop lookahead entries and coordinate "
-                  "precision",
-                  effort);
-    const int samples =
-        effort == bench::Effort::Full ? 60000 : 20000;
-
-    std::printf("(a) one-hop-only vs one+two-hop tables\n");
-    bench::row({"nodes", "hops-1hop", "hops-2hop", "entries-1hop",
-                "entries-2hop"}, 13);
-    std::vector<std::size_t> sizes{64, 256, 1024};
-    if (effort == bench::Effort::Quick)
-        sizes = {64, 256};
-    for (const std::size_t n : sizes) {
-        double hops[2];
-        std::size_t entries[2];
-        for (const bool two_hop : {false, true}) {
-            core::SFParams params;
-            params.numNodes = n;
-            params.routerPorts = n <= 128 ? 4 : 8;
-            params.seed = bench::kSeed;
-            params.twoHopTable = two_hop;
-            const core::StringFigure topo(params);
-            Rng rng(bench::kSeed + n);
-            hops[two_hop] = averageRoutedHops(topo, samples, rng);
-            // A one-hop-only router needs only the one-hop rows.
-            std::size_t max_entries = 0;
-            for (NodeId u = 0; u < n; ++u) {
-                std::size_t count = 0;
-                for (const auto &e :
-                     topo.tables().table(u).entries())
-                    count += (two_hop || e.hops == 1) ? 1 : 0;
-                max_entries = std::max(max_entries, count);
-            }
-            entries[two_hop] = max_entries;
-        }
-        bench::row({bench::fmt("%zu", n),
-                    bench::fmt("%.2f", hops[0]),
-                    bench::fmt("%.2f", hops[1]),
-                    bench::fmt("%zu", entries[0]),
-                    bench::fmt("%zu", entries[1])},
-                   13);
-    }
-
-    std::printf("\n(b) coordinate quantisation (256 nodes, p=8; "
-                "exact = double)\n");
-    bench::row({"bits", "avg-hops", "fallback-hops/pkt",
-                "delivered"}, 18);
-    for (const int bits : {0, 10, 8, 7, 6, 5}) {
-        core::SFParams params;
-        params.numNodes = 256;
-        params.routerPorts = 8;
-        params.seed = bench::kSeed;
-        params.coordBits = bits;
-        const core::StringFigure topo(params);
-        Rng rng(bench::kSeed);
-        double sum = 0.0;
-        int delivered = 0;
-        int total = 0;
-        for (int i = 0; i < samples; ++i) {
-            const auto s = static_cast<NodeId>(rng.below(256));
-            const auto t = static_cast<NodeId>(rng.below(256));
-            if (s == t)
-                continue;
-            ++total;
-            const int hops = net::routedHops(topo, s, t);
-            if (hops > 0) {
-                sum += hops;
-                ++delivered;
-            }
-        }
-        bench::row(
-            {bits == 0 ? "exact" : bench::fmt("%d", bits),
-             bench::fmt("%.2f", sum / std::max(delivered, 1)),
-             bench::fmt("%.4f",
-                        static_cast<double>(topo.fallbackCount()) /
-                            std::max(total, 1)),
-             bench::fmt("%.1f%%", 100.0 * delivered / total)},
-            18);
-    }
-    std::printf("\nTakeaway: two-hop entries buy shorter routed "
-                "paths for a bounded table\n(paper bound p(p+1)); "
-                "7-bit coordinates (the paper's hardware width) "
-                "stay\nnear-exact until slots collide, then the "
-                "escape path absorbs ties.\n");
-    return 0;
+    return sf::exp::benchMain("ablation_two_hop,ablation_coord_bits", argc, argv);
 }

@@ -1,69 +1,14 @@
 /**
  * @file
- * Paper Section IV/VI sensitivity: uni- vs bi-directional wires.
- * The paper reports unidirectional networks perform almost the
- * same as bidirectional ones and the gap shrinks with scale, which
- * justifies choosing the cheaper unidirectional wiring.
+ * Thin wrapper over the sf::exp registry: runs the
+ * wiring-direction experiment(s) — the same grid `sfx run 'ablation_unidir'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/paths.hpp"
-#include "sim/simulator.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Ablation: wiring",
-                  "unidirectional vs bidirectional String Figure",
-                  effort);
-
-    std::vector<std::size_t> sizes{64, 256, 1024};
-    if (effort == bench::Effort::Quick)
-        sizes = {64, 256};
-
-    sim::SimConfig cfg;
-    cfg.seed = bench::kSeed;
-    sim::RunPhases phases;
-    phases.warmup = 800;
-    phases.measure = 2000;
-    phases.drainLimit = 12000;
-
-    bench::row({"nodes", "hops-uni", "hops-bi", "gap%",
-                "sat-uni", "sat-bi"}, 11);
-    for (const std::size_t n : sizes) {
-        double hops[2];
-        double sat[2];
-        for (const auto mode : {core::LinkMode::Unidirectional,
-                                core::LinkMode::Bidirectional}) {
-            core::SFParams params;
-            params.numNodes = n;
-            params.routerPorts = n <= 128 ? 4 : 8;
-            params.seed = bench::kSeed;
-            params.linkMode = mode;
-            const core::StringFigure topo(params);
-            const int index =
-                mode == core::LinkMode::Unidirectional ? 0 : 1;
-            hops[index] = net::allPairsStats(topo.graph()).average;
-            sat[index] = sim::findSaturationRate(
-                topo, sim::TrafficPattern::UniformRandom, cfg,
-                phases, 0.12);
-            std::fflush(stdout);
-        }
-        bench::row({bench::fmt("%zu", n),
-                    bench::fmt("%.2f", hops[0]),
-                    bench::fmt("%.2f", hops[1]),
-                    bench::fmt("%.1f",
-                               100.0 * (hops[0] - hops[1]) /
-                                   hops[1]),
-                    bench::fmt("%.3f", sat[0]),
-                    bench::fmt("%.3f", sat[1])},
-                   11);
-    }
-    std::printf("\npaper reference: the uni/bi discrepancy "
-                "diminishes as the network\ngrows; String Figure "
-                "ships unidirectional wires for the lower cost.\n");
-    return 0;
+    return sf::exp::benchMain("ablation_unidir", argc, argv);
 }

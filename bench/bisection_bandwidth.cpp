@@ -1,81 +1,14 @@
 /**
  * @file
- * Paper Section V methodology: empirical minimum bisection
- * bandwidth. For the random topologies (S2, SF) the paper computes
- * max-flow across 50 random balanced partitions, takes the
- * minimum, and averages over 20 generated topologies; baselines
- * are then matched to it (ODM gains parallel links; AFB thins FB).
- * This harness reproduces those numbers and prints the derived ODM
- * link multiplier per scale.
+ * Thin wrapper over the sf::exp registry: runs the
+ * bisection-bandwidth experiment(s) — the same grid `sfx run 'bisection_bandwidth'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "net/bisection.hpp"
-#include "topos/factory.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Bisection",
-                  "empirical min bisection bandwidth "
-                  "(flows, unit-capacity links)",
-                  effort);
-
-    const int partitions =
-        effort == bench::Effort::Full ? 50 : 12;
-    const int instances = effort == bench::Effort::Full
-                              ? 20
-                              : (effort == bench::Effort::Quick
-                                     ? 2 : 5);
-    std::printf("partitions per instance: %d, instances averaged: "
-                "%d (paper: 50 / 20)\n\n",
-                partitions, instances);
-
-    std::vector<std::size_t> sizes{64, 256, 1024};
-    if (effort == bench::Effort::Quick)
-        sizes = {64, 256};
-
-    bench::row({"nodes", "DM", "FB", "AFB", "S2", "SF",
-                "ODM-mult"});
-    for (const std::size_t n : sizes) {
-        std::vector<std::string> cells{bench::fmt("%zu", n)};
-        for (const auto kind :
-             {topos::TopoKind::DM, topos::TopoKind::FB,
-              topos::TopoKind::AFB, topos::TopoKind::S2,
-              topos::TopoKind::SF}) {
-            if (!topos::supported(kind, n)) {
-                cells.push_back("-");
-                continue;
-            }
-            const bool random_topology =
-                kind == topos::TopoKind::S2 ||
-                kind == topos::TopoKind::SF;
-            const int reps = random_topology ? instances : 1;
-            double sum = 0.0;
-            for (int i = 0; i < reps; ++i) {
-                const auto topo = topos::makeTopology(
-                    kind, n, bench::kSeed + i);
-                Rng rng(bench::kSeed * 31 + i);
-                sum += static_cast<double>(
-                    net::minBisectionBandwidth(topo->graph(), rng,
-                                               partitions));
-            }
-            cells.push_back(bench::fmt("%.0f", sum / reps));
-            std::fflush(stdout);
-        }
-        cells.push_back(bench::fmt(
-            "%d", topos::matchOdmMultiplier(n, bench::kSeed)));
-        bench::row(cells);
-    }
-    std::printf("\nSF/S2 wires are unidirectional (one unit of "
-                "flow per wire); mesh and\nbutterfly wires are "
-                "bidirectional pairs. The ODM multiplier is the\n"
-                "parallel-link factor that matches the mesh to SF, "
-                "used by every other\nharness when it builds "
-                "ODM.\n");
-    return 0;
+    return sf::exp::benchMain("bisection_bandwidth", argc, argv);
 }

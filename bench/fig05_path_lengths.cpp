@@ -1,82 +1,14 @@
 /**
  * @file
- * Paper Fig 5: average shortest path length of Jellyfish, S2, and
- * String Figure as the network grows (100..1200 nodes) — the
- * "sufficiently uniform random graph" evidence. All three use the
- * same per-node wire budget (8-port routers). The paper's claim:
- * String Figure tracks Jellyfish/S2 closely with the same bounds.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 5 path-length experiment(s) — the same grid `sfx run 'fig05_path_lengths'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/paths.hpp"
-#include "topos/jellyfish.hpp"
-#include "topos/space_shuffle.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 5",
-                  "avg shortest path length vs network size "
-                  "(Jellyfish / S2 / SF, p = 8)",
-                  effort);
-
-    const int seeds = effort == bench::Effort::Quick
-                          ? 1
-                          : (effort == bench::Effort::Full ? 5 : 3);
-    bench::row({"nodes", "Jellyfish", "S2", "SF", "SF-p10",
-                "SF-p90", "SF-diam"});
-
-    for (const std::size_t n : {100u, 200u, 400u, 800u, 1200u}) {
-        double jf_avg = 0.0;
-        double s2_avg = 0.0;
-        double sf_avg = 0.0;
-        double sf_p10 = 0.0;
-        double sf_p90 = 0.0;
-        double sf_diam = 0.0;
-        for (int s = 0; s < seeds; ++s) {
-            const std::uint64_t seed = bench::kSeed + s;
-            // Jellyfish with degree 8 = the same wire budget as the
-            // random-topology memory networks.
-            const topos::Jellyfish jf(n, 8, seed);
-            jf_avg += net::allPairsStats(jf.graph()).average;
-
-            const topos::SpaceShuffle s2(n, 8, seed);
-            s2_avg += net::allPairsStats(s2.graph()).average;
-
-            core::SFParams params;
-            params.numNodes = n;
-            params.routerPorts = 8;
-            params.seed = seed;
-            const core::StringFigure sf_net(params);
-            const auto stats = net::allPairsStats(sf_net.graph());
-            sf_avg += stats.average;
-            sf_p10 += stats.p10;
-            sf_p90 += stats.p90;
-            sf_diam += stats.diameter;
-        }
-        const double k = seeds;
-        bench::row({bench::fmt("%zu", n),
-                    bench::fmt("%.2f", jf_avg / k),
-                    bench::fmt("%.2f", s2_avg / k),
-                    bench::fmt("%.2f", sf_avg / k),
-                    bench::fmt("%.1f", sf_p10 / k),
-                    bench::fmt("%.1f", sf_p90 / k),
-                    bench::fmt("%.1f", sf_diam / k)});
-    }
-
-    std::printf(
-        "\npaper reference (Fig 5, read off the plot): all three "
-        "curves overlap,\nrising from ~3 hops at 100 nodes to ~4.5-5"
-        " at 1200; SF within the same\nbounds as Jellyfish/S2. "
-        "Paper Section VI: SF 10%%/90%% percentiles are\n4 and 5 "
-        "hops beyond one thousand nodes.\n"
-        "note: Jellyfish wires are bidirectional; S2/SF here use the"
-        " paper's\nunidirectional wiring (one direction per wire), "
-        "which costs ~0.5-1 hop.\n");
-    return 0;
+    return sf::exp::benchMain("fig05_path_lengths", argc, argv);
 }

@@ -1,140 +1,14 @@
 /**
  * @file
- * Paper Fig 9(a): average routed hop count of every evaluated
- * network design as the node count grows from 16 to 1296, using
- * each design's own routing (XY on meshes, minimal-adaptive on
- * FB/AFB, greediest on S2/SF). Router ports follow Fig 8's policy.
- *
- * Paper reference points: DM/ODM grow superlinearly past 128 nodes
- * (avg ~ (2/3) * sqrt(N)); FB stays lowest (high radix); SF reaches
- * 4.75 avg hops at 1024 and 4.96 at 1296 with <= 8 ports, with
- * 10th/90th percentiles of 4 and 5 hops.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 9(a) hop-count experiment(s) — the same grid `sfx run 'fig09a_hop_counts'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "net/paths.hpp"
-#include "net/rng.hpp"
-#include "net/topology.hpp"
-#include "topos/factory.hpp"
-
-namespace {
-
-/** Average routed hops over sampled pairs (all pairs when small). */
-double
-averageRoutedHops(const sf::net::Topology &topo, sf::Rng &rng)
-{
-    const std::size_t n = topo.numNodes();
-    double sum = 0.0;
-    std::size_t count = 0;
-    if (n <= 256) {
-        for (sf::NodeId s = 0; s < n; ++s) {
-            for (sf::NodeId t = 0; t < n; ++t) {
-                if (s == t)
-                    continue;
-                sum += sf::net::routedHops(topo, s, t);
-                ++count;
-            }
-        }
-    } else {
-        for (int i = 0; i < 40000; ++i) {
-            const auto s = static_cast<sf::NodeId>(rng.below(n));
-            const auto t = static_cast<sf::NodeId>(rng.below(n));
-            if (s == t)
-                continue;
-            sum += sf::net::routedHops(topo, s, t);
-            ++count;
-        }
-    }
-    return sum / static_cast<double>(count);
-}
-
-} // namespace
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 9(a)",
-                  "average routed hop count vs number of memory "
-                  "nodes",
-                  effort);
-
-    std::vector<std::size_t> sizes{16, 17, 32, 61, 64,
-                                   113, 128, 256, 512, 1024, 1296};
-    if (effort == bench::Effort::Quick)
-        sizes = {16, 64, 256, 1024};
-
-    std::printf("(a) average shortest path length — the metric the "
-                "paper plots\n");
-    bench::row({"nodes", "DM", "ODM", "FB", "AFB", "S2", "SF",
-                "SF-ports"});
-    for (const std::size_t n : sizes) {
-        std::vector<std::string> cells{bench::fmt("%zu", n)};
-        for (const auto kind : topos::kAllKinds) {
-            if (!topos::supported(kind, n)) {
-                cells.push_back("-");
-                continue;
-            }
-            const int odm_mult =
-                kind == topos::TopoKind::ODM ? 1 : 0;
-            const auto topo =
-                topos::makeTopology(kind, n, bench::kSeed,
-                                    odm_mult);
-            cells.push_back(bench::fmt(
-                "%.2f",
-                net::allPairsStats(topo->graph()).average));
-        }
-        cells.push_back(bench::fmt(
-            "%d", topos::randomTopologyPorts(n)));
-        bench::row(cells);
-    }
-
-    std::printf("\n(b) average routed hops under each design's own "
-                "routing\n    (XY on meshes = shortest; greediest "
-                "on S2/SF carries stretch; the\n    S2 vs SF gap "
-                "shows the paper's two-hop table entries at "
-                "work)\n");
-    bench::row({"nodes", "DM", "ODM", "FB", "AFB", "S2", "SF"});
-    for (const std::size_t n : sizes) {
-        std::vector<std::string> cells{bench::fmt("%zu", n)};
-        for (const auto kind : topos::kAllKinds) {
-            if (!topos::supported(kind, n)) {
-                cells.push_back("-");
-                continue;
-            }
-            const int odm_mult =
-                kind == topos::TopoKind::ODM ? 1 : 0;
-            const auto topo =
-                topos::makeTopology(kind, n, bench::kSeed,
-                                    odm_mult);
-            Rng rng(bench::kSeed + n);
-            cells.push_back(bench::fmt(
-                "%.2f", averageRoutedHops(*topo, rng)));
-        }
-        bench::row(cells);
-    }
-
-    // Percentile detail for the largest SF instances (paper text).
-    std::printf("\nSF percentiles (paper: p10 = 4, p90 = 5 beyond "
-                "1000 nodes):\n");
-    for (const std::size_t n : {1024u, 1296u}) {
-        core::SFParams params;
-        params.numNodes = n;
-        params.routerPorts = 8;
-        params.seed = bench::kSeed;
-        const core::StringFigure sf_net(params);
-        const auto stats = net::allPairsStats(sf_net.graph());
-        std::printf("  N=%zu: avg %.2f, p10 %u, p90 %u, diameter "
-                    "%u\n",
-                    n, stats.average, stats.p10, stats.p90,
-                    stats.diameter);
-    }
-    std::printf("\npaper reference: SF avg 4.75 @ 1024 and 4.96 @ "
-                "1296; DM/ODM superlinear\n(~2/3 of the mesh "
-                "dimension); FB lowest via high-radix routers.\n");
-    return 0;
+    return sf::exp::benchMain("fig09a_hop_counts", argc, argv);
 }

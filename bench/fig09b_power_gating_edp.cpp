@@ -1,106 +1,14 @@
 /**
  * @file
- * Paper Fig 9(b): normalised energy-delay product of real
- * workloads when part of the String Figure memory network is
- * power-gated off. The paper reports improving (decreasing) EDP as
- * more of the network gates.
- *
- * The savable component is the powered-on routers' background
- * (SerDes/clock) energy — the per-bit constants of Table I alone
- * cannot decrease by gating. The harness therefore sweeps the
- * background-energy knob, including 0 (pure Table I constants), so
- * the dependence is explicit; see DESIGN.md substitutions.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 9(b) power-gating EDP experiment(s) — the same grid `sfx run 'fig09b_power_gating_edp'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <map>
-#include <memory>
-
-#include "bench_util.hpp"
-#include "core/string_figure.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/replay.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 9(b)",
-                  "normalised EDP vs fraction of memory nodes "
-                  "power-gated (SF)",
-                  effort);
-
-    const std::size_t n =
-        effort == bench::Effort::Full ? 1296 : 324;
-    const std::size_t ops = effort == bench::Effort::Quick
-                                ? 10000
-                                : (effort == bench::Effort::Full
-                                       ? 100000
-                                       : 30000);
-    const std::vector<double> gate_fractions{0.0, 0.1, 0.2, 0.3};
-    std::printf("nodes: %zu, trace length: %zu ops; EDP normalised"
-                " to 0%% gated\n",
-                n, ops);
-
-    sim::SimConfig sim_cfg;
-    sim_cfg.seed = bench::kSeed;
-
-    std::vector<wl::Workload> workloads(wl::kAllWorkloads.begin(),
-                                        wl::kAllWorkloads.end());
-    if (effort == bench::Effort::Quick)
-        workloads = {wl::Workload::SparkGrep, wl::Workload::Redis,
-                     wl::Workload::MatMul};
-
-    for (const double idle_pj : {10.0, 0.0}) {
-        std::printf("\n--- background energy %.0f pJ/node/cycle ---"
-                    "\n",
-                    idle_pj);
-        std::vector<std::string> header{"workload"};
-        for (const double f : gate_fractions)
-            header.push_back(bench::fmt("%.0f%%", 100.0 * f));
-        header.push_back("live@30%");
-        bench::row(header, 11);
-
-        for (const wl::Workload w : workloads) {
-            const auto trace =
-                wl::generateTrace(w, bench::kSeed, ops);
-            std::vector<std::string> cells{wl::workloadName(w)};
-            double base_edp = 0.0;
-            std::size_t live_final = 0;
-            for (const double f : gate_fractions) {
-                core::SFParams params;
-                params.numNodes = n;
-                params.routerPorts = 8;
-                params.seed = bench::kSeed;
-                core::StringFigure topo(params);
-                wl::ReplayConfig cfg;
-                cfg.energy.idlePjPerNodeCycle = idle_pj;
-                const std::size_t target =
-                    f == 0.0 ? 0
-                             : static_cast<std::size_t>(
-                                   n * (1.0 - f));
-                const auto r = wl::replayTrace(trace, topo,
-                                               sim_cfg, cfg,
-                                               target);
-                if (base_edp == 0.0)
-                    base_edp = r.edpJouleSeconds;
-                cells.push_back(bench::fmt(
-                    "%.3f", r.edpJouleSeconds / base_edp));
-                live_final = topo.reconfig().numAlive();
-                std::fflush(stdout);
-            }
-            cells.push_back(bench::fmt("%zu", live_final));
-            bench::row(cells, 11);
-        }
-    }
-    std::printf(
-        "\npaper reference: EDP improves (falls) as more nodes "
-        "gate, across\nworkloads. Two mechanisms contribute: the "
-        "smaller live network has\nshorter paths (less pJ/bit/hop "
-        "transport — visible even at 0 background\nenergy), and "
-        "powered-off routers stop burning background energy.\n"
-        "'live@30%%' shows the achieved live count: the victim "
-        "search refuses\nunrepairable holes, so deep targets can "
-        "fall short of the request.\n");
-    return 0;
+    return sf::exp::benchMain("fig09b_power_gating_edp", argc, argv);
 }

@@ -1,76 +1,14 @@
 /**
  * @file
- * Paper Fig 10: saturation injection rate (percent of full
- * injection) across network sizes for the uniform-random, hotspot,
- * and tornado traffic patterns, for every evaluated design.
- *
- * Paper reference shape: the meshes (DM/ODM) saturate first and
- * their saturation point decays as the network grows (ODM slightly
- * edges SF only at the smallest scale); the random/butterfly
- * designs hold roughly flat; hotspot saturation collapses with N
- * for every design (single-ejector bound); tornado barely
- * saturates the geometric designs.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 10 saturation experiment(s) — the same grid `sfx run 'fig10_saturation'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "sim/simulator.hpp"
-#include "topos/factory.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    using sim::TrafficPattern;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 10",
-                  "saturation injection rate (%) vs number of "
-                  "memory nodes",
-                  effort);
-
-    std::vector<std::size_t> sizes{16, 64, 256, 1024};
-    if (effort == bench::Effort::Quick)
-        sizes = {16, 64, 256};
-    if (effort == bench::Effort::Full)
-        sizes = {16, 32, 64, 128, 256, 512, 1024};
-
-    sim::SimConfig cfg;
-    cfg.seed = bench::kSeed;
-    sim::RunPhases phases;
-    phases.warmup = 800;
-    phases.measure = 2000;
-    phases.drainLimit = 12000;
-    const double tolerance =
-        effort == bench::Effort::Full ? 0.07 : 0.12;
-
-    for (const auto pattern :
-         {TrafficPattern::UniformRandom, TrafficPattern::Hotspot,
-          TrafficPattern::Tornado}) {
-        std::printf("\n--- %s ---\n",
-                    sim::patternName(pattern).c_str());
-        bench::row({"nodes", "DM", "ODM", "FB", "AFB", "S2", "SF"});
-        for (const std::size_t n : sizes) {
-            std::vector<std::string> cells{bench::fmt("%zu", n)};
-            for (const auto kind : topos::kAllKinds) {
-                if (!topos::supported(kind, n)) {
-                    cells.push_back("-");
-                    continue;
-                }
-                const auto topo =
-                    topos::makeTopology(kind, n, bench::kSeed);
-                const double sat = sim::findSaturationRate(
-                    *topo, pattern, cfg, phases, tolerance);
-                cells.push_back(bench::fmt("%.1f", 100.0 * sat));
-                std::fflush(stdout);
-            }
-            bench::row(cells);
-        }
-    }
-    std::printf("\nRates are packet injections per node per cycle, "
-                "x100. The paper plots\nthe same metric; compare "
-                "shapes (who decays, who holds) rather than\n"
-                "absolute percentages — router microarchitectures "
-                "differ.\n");
-    return 0;
+    return sf::exp::benchMain("fig10_saturation", argc, argv);
 }

@@ -1,81 +1,14 @@
 /**
  * @file
- * Paper Fig 11: average packet latency vs injection rate curves
- * per traffic pattern, one curve per network design. The paper's
- * observations: S2-ideal and SF scale well (flat curves until a
- * sharp knee); SF runs slightly above S2-ideal on down-scaled
- * networks but below AFB at large scale; meshes knee earliest.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 11 latency-curve experiment(s) — the same grid `sfx run 'fig11_latency_curves'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "sim/simulator.hpp"
-#include "topos/factory.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    using sim::TrafficPattern;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 11",
-                  "avg packet latency (cycles) vs injection rate",
-                  effort);
-
-    std::vector<std::size_t> sizes{64, 256};
-    if (effort == bench::Effort::Full)
-        sizes = {64, 256, 1024};
-    std::vector<TrafficPattern> patterns{
-        TrafficPattern::UniformRandom, TrafficPattern::Tornado,
-        TrafficPattern::Opposite, TrafficPattern::Complement};
-    if (effort == bench::Effort::Quick)
-        patterns = {TrafficPattern::UniformRandom};
-
-    sim::SimConfig cfg;
-    cfg.seed = bench::kSeed;
-    sim::RunPhases phases;
-    phases.warmup = 800;
-    phases.measure = 2500;
-    phases.drainLimit = 15000;
-
-    const std::vector<double> rates{0.005, 0.01, 0.02, 0.03,
-                                    0.045, 0.06, 0.08, 0.10};
-
-    for (const std::size_t n : sizes) {
-        for (const auto pattern : patterns) {
-            std::printf("\n--- %zu nodes, %s (latency in cycles; "
-                        "'sat' = saturated) ---\n",
-                        n, sim::patternName(pattern).c_str());
-            std::vector<std::string> header{"rate"};
-            std::vector<std::unique_ptr<net::Topology>> topos_at_n;
-            for (const auto kind : topos::kAllKinds) {
-                if (!topos::supported(kind, n))
-                    continue;
-                header.push_back(topos::kindName(kind));
-                topos_at_n.push_back(
-                    topos::makeTopology(kind, n, bench::kSeed));
-            }
-            bench::row(header);
-            for (const double rate : rates) {
-                std::vector<std::string> cells{
-                    bench::fmt("%.3f", rate)};
-                for (const auto &topo : topos_at_n) {
-                    const auto r = sim::runSynthetic(
-                        *topo, pattern, rate, cfg, phases);
-                    cells.push_back(
-                        r.saturated
-                            ? "sat"
-                            : bench::fmt("%.1f",
-                                         r.avgTotalLatency));
-                }
-                bench::row(cells);
-                std::fflush(stdout);
-            }
-        }
-    }
-    std::printf("\npaper reference shape: flat latency then a sharp"
-                " knee; meshes knee at the\nlowest rates, S2/SF "
-                "stay flat well past them at scale.\n");
-    return 0;
+    return sf::exp::benchMain("fig11_latency_curves", argc, argv);
 }

@@ -1,138 +1,14 @@
 /**
  * @file
- * Paper Fig 12: real-workload system throughput and dynamic memory
- * energy on a large memory network.
- *
- *  (a) throughput normalised to DM — paper: SF achieves the best or
- *      near-best across workloads, 1.3x ODM on average; S2-ideal
- *      close behind.
- *  (b) dynamic memory energy normalised to AFB — paper: SF lowest,
- *      36% below AFB on average; S2-ideal similarly low.
- *
- * The paper runs 1024 live nodes (down-scaled from 1296) with 8 TB
- * of data. Default effort replays on 256 nodes; --full uses 1024.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Fig 12 workload experiment(s) — the same grid `sfx run 'fig12_workloads'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <cmath>
-#include <map>
-#include <memory>
-
-#include "bench_util.hpp"
-#include "topos/factory.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/replay.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Fig 12",
-                  "workload throughput (vs DM) and dynamic energy "
-                  "(vs AFB)",
-                  effort);
-
-    const std::size_t n =
-        effort == bench::Effort::Full ? 1024 : 256;
-    const std::size_t ops = effort == bench::Effort::Quick
-                                ? 10000
-                                : (effort == bench::Effort::Full
-                                       ? 100000
-                                       : 30000);
-    std::printf("nodes: %zu, trace length: %zu DRAM ops, 4 sockets"
-                "\n\n",
-                n, ops);
-
-    const std::vector<topos::TopoKind> kinds{
-        topos::TopoKind::DM, topos::TopoKind::ODM,
-        topos::TopoKind::AFB, topos::TopoKind::S2,
-        topos::TopoKind::SF};
-
-    sim::SimConfig sim_cfg;
-    sim_cfg.seed = bench::kSeed;
-    wl::ReplayConfig cfg;
-
-    struct Cell {
-        double ipc = 0.0;
-        double energy = 0.0;
-    };
-    std::map<std::string, std::map<std::string, Cell>> results;
-
-    for (const wl::Workload w : wl::kAllWorkloads) {
-        const auto trace = wl::generateTrace(w, bench::kSeed, ops);
-        for (const auto kind : kinds) {
-            auto topo = topos::makeTopology(kind, n, bench::kSeed);
-            const auto r =
-                wl::replayTrace(trace, *topo, sim_cfg, cfg);
-            results[wl::workloadName(w)]
-                   [topos::kindName(kind)] =
-                Cell{r.ipc, r.networkPj + r.dramPj};
-            std::fflush(stdout);
-        }
-    }
-
-    const auto geomean = [&](const std::string &kind,
-                             bool energy_vs_afb) {
-        double log_sum = 0.0;
-        int count = 0;
-        for (const auto &[workload, cells] : results) {
-            const auto &base = cells.at(energy_vs_afb ? "AFB"
-                                                      : "DM");
-            const auto &cell = cells.at(kind);
-            const double ratio =
-                energy_vs_afb
-                    ? cell.energy / base.energy
-                    : cell.ipc / base.ipc;
-            log_sum += std::log(ratio);
-            ++count;
-        }
-        return std::exp(log_sum / count);
-    };
-
-    std::printf("(a) throughput normalised to DM (higher is "
-                "better)\n");
-    bench::row({"workload", "ODM", "AFB", "S2", "SF"}, 11);
-    for (const wl::Workload w : wl::kAllWorkloads) {
-        const auto &cells = results[wl::workloadName(w)];
-        const double dm = cells.at("DM").ipc;
-        bench::row({wl::workloadName(w),
-                    bench::fmt("%.2f", cells.at("ODM").ipc / dm),
-                    bench::fmt("%.2f", cells.at("AFB").ipc / dm),
-                    bench::fmt("%.2f", cells.at("S2").ipc / dm),
-                    bench::fmt("%.2f", cells.at("SF").ipc / dm)},
-                   11);
-    }
-    bench::row({"geomean", bench::fmt("%.2f", geomean("ODM", false)),
-                bench::fmt("%.2f", geomean("AFB", false)),
-                bench::fmt("%.2f", geomean("S2", false)),
-                bench::fmt("%.2f", geomean("SF", false))},
-               11);
-
-    std::printf("\n(b) network + DRAM dynamic energy normalised to "
-                "AFB (lower is better)\n");
-    bench::row({"workload", "DM", "ODM", "S2", "SF"}, 11);
-    for (const wl::Workload w : wl::kAllWorkloads) {
-        const auto &cells = results[wl::workloadName(w)];
-        const double afb = cells.at("AFB").energy;
-        bench::row({wl::workloadName(w),
-                    bench::fmt("%.2f", cells.at("DM").energy / afb),
-                    bench::fmt("%.2f",
-                               cells.at("ODM").energy / afb),
-                    bench::fmt("%.2f", cells.at("S2").energy / afb),
-                    bench::fmt("%.2f",
-                               cells.at("SF").energy / afb)},
-                   11);
-    }
-    bench::row({"geomean", bench::fmt("%.2f", geomean("DM", true)),
-                bench::fmt("%.2f", geomean("ODM", true)),
-                bench::fmt("%.2f", geomean("S2", true)),
-                bench::fmt("%.2f", geomean("SF", true))},
-               11);
-
-    std::printf("\npaper reference: SF throughput ~1.3x ODM "
-                "(geomean), best or near-best\nper workload; SF "
-                "energy ~0.64x AFB, S2 similar. Energy here is "
-                "network\n+ DRAM dynamic energy, as in the paper's "
-                "Fig 12(b).\n");
-    return 0;
+    return sf::exp::benchMain("fig12_workloads", argc, argv);
 }

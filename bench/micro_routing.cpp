@@ -1,125 +1,14 @@
 /**
  * @file
- * Microbenchmarks (google-benchmark) for the paper's routing-
- * overhead claims (Section III-B): forwarding decisions cost a
- * fixed, small number of distance computations, independent of the
- * network scale; routing state stays bounded at p(p+1) entries;
- * topology construction and reconfiguration are cheap.
+ * Thin wrapper over the sf::exp registry: runs the
+ * routing microbenchmark experiment(s) — the same grid `sfx run 'micro_routing'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <benchmark/benchmark.h>
+#include "exp/driver.hpp"
 
-#include "core/string_figure.hpp"
-#include "net/rng.hpp"
-
-namespace {
-
-using namespace sf;
-
-core::SFParams
-paramsFor(std::size_t n)
+int
+main(int argc, char **argv)
 {
-    core::SFParams params;
-    params.numNodes = n;
-    params.routerPorts = n <= 128 ? 4 : 8;
-    params.seed = 2019;
-    return params;
+    return sf::exp::benchMain("micro_routing", argc, argv);
 }
-
-/** Forwarding decision latency vs network scale. */
-void
-BM_GreedyDecision(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const core::StringFigure topo(paramsFor(n));
-    Rng rng(7);
-    std::vector<LinkId> out;
-    for (auto _ : state) {
-        const auto s = static_cast<NodeId>(rng.below(n));
-        const auto t = static_cast<NodeId>(rng.below(n));
-        if (s == t)
-            continue;
-        out.clear();
-        topo.routeCandidates(s, t, false, out);
-        benchmark::DoNotOptimize(out);
-    }
-    state.counters["tableEntriesMax"] = static_cast<double>(
-        topo.tables().maxEntriesSeen());
-}
-BENCHMARK(BM_GreedyDecision)->Arg(64)->Arg(256)->Arg(1296);
-
-/** Adaptive (widened) first-hop decision. */
-void
-BM_AdaptiveFirstHop(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const core::StringFigure topo(paramsFor(n));
-    Rng rng(7);
-    std::vector<LinkId> out;
-    for (auto _ : state) {
-        const auto s = static_cast<NodeId>(rng.below(n));
-        const auto t = static_cast<NodeId>(rng.below(n));
-        if (s == t)
-            continue;
-        out.clear();
-        topo.routeCandidates(s, t, true, out);
-        benchmark::DoNotOptimize(out);
-    }
-}
-BENCHMARK(BM_AdaptiveFirstHop)->Arg(256)->Arg(1296);
-
-/** Full end-to-end greedy walk (latency of a routed path). */
-void
-BM_RoutedWalk(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const core::StringFigure topo(paramsFor(n));
-    Rng rng(11);
-    for (auto _ : state) {
-        const auto s = static_cast<NodeId>(rng.below(n));
-        const auto t = static_cast<NodeId>(rng.below(n));
-        if (s == t)
-            continue;
-        benchmark::DoNotOptimize(net::routedHops(topo, s, t));
-    }
-}
-BENCHMARK(BM_RoutedWalk)->Arg(256)->Arg(1296);
-
-/** Offline topology construction across scales. */
-void
-BM_TopologyBuild(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    std::uint64_t seed = 1;
-    for (auto _ : state) {
-        const auto data = core::buildTopology(paramsFor(n));
-        benchmark::DoNotOptimize(data.graph.numLinks());
-        ++seed;
-    }
-}
-BENCHMARK(BM_TopologyBuild)->Arg(128)->Arg(1296)
-    ->Unit(benchmark::kMillisecond);
-
-/** One gate + ungate reconfiguration round trip. */
-void
-BM_ReconfigRoundTrip(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    core::StringFigure topo(paramsFor(n));
-    Rng rng(13);
-    for (auto _ : state) {
-        const auto u = static_cast<NodeId>(rng.below(n));
-        if (!topo.reconfig().canGate(u))
-            continue;
-        topo.gate(u);
-        topo.ungate(u);
-    }
-    state.counters["tableRebuilds"] = static_cast<double>(
-        topo.reconfig().stats().tableRebuilds);
-}
-BENCHMARK(BM_ReconfigRoundTrip)->Arg(256)->Arg(1296)
-    ->Unit(benchmark::kMicrosecond);
-
-} // namespace
-
-BENCHMARK_MAIN();

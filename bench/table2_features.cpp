@@ -1,47 +1,14 @@
 /**
  * @file
- * Paper Table II: qualitative feature matrix of the evaluated
- * network designs — whether they require high-radix routers,
- * whether the router port count scales with the network size, and
- * whether the network scale is reconfigurable. Printed from the
- * topologies' own feature flags plus measured radix at two scales
- * as evidence.
+ * Thin wrapper over the sf::exp registry: runs the
+ * Table II feature-matrix experiment(s) — the same grid `sfx run 'table2_features'`
+ * executes, with --jobs/--out/--effort available here too.
  */
 
-#include <memory>
-
-#include "bench_util.hpp"
-#include "topos/factory.hpp"
+#include "exp/driver.hpp"
 
 int
 main(int argc, char **argv)
 {
-    using namespace sf;
-    const auto effort = bench::parseEffort(argc, argv);
-    bench::banner("Table II",
-                  "topology features and requirements", effort);
-
-    bench::row({"topology", "high-radix?", "port-scaling?",
-                "reconfig?", "p@256", "p@1024"}, 13);
-    for (const auto kind :
-         {topos::TopoKind::ODM, topos::TopoKind::AFB,
-          topos::TopoKind::S2, topos::TopoKind::SF}) {
-        const auto small = topos::makeTopology(kind, 256,
-                                               bench::kSeed, 2);
-        const auto large = topos::makeTopology(kind, 1024,
-                                               bench::kSeed, 2);
-        const auto f = small->features();
-        bench::row({topos::kindName(kind),
-                    f.requiresHighRadix ? "Yes" : "No",
-                    f.portCountScales ? "Yes" : "No",
-                    f.reconfigurable ? "Yes" : "No",
-                    bench::fmt("%d", small->routerPorts()),
-                    bench::fmt("%d", large->routerPorts())},
-                   13);
-    }
-    std::printf("\npaper Table II: ODM no/no/no, AFB yes/yes/no, "
-                "S2-ideal no/no/no,\nSF no/no/yes. (ODM's p@ "
-                "columns show ports including its parallel\nlinks;"
-                " the paper counts its base radix.)\n");
-    return 0;
+    return sf::exp::benchMain("table2_features", argc, argv);
 }

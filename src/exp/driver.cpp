@@ -1,0 +1,331 @@
+#include "exp/driver.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/scheduler.hpp"
+
+namespace sf::exp {
+
+namespace {
+
+struct CliOptions {
+    std::vector<std::string> patterns;
+    int jobs = 0; // 0 = hardware concurrency
+    std::string outPath;
+    Effort effort = Effort::Default;
+    std::uint64_t baseSeed = kBaseSeed;
+    std::string runFilter;
+    bool timing = false;
+    bool listRuns = false;
+    bool quiet = false;
+    /** --help was handled: exit 0, not a usage error. */
+    bool helpShown = false;
+};
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage:\n"
+        "  sfx list                       list registered "
+        "experiments\n"
+        "  sfx run <name|glob>...         run experiments\n"
+        "\n"
+        "run options:\n"
+        "  --jobs N      worker threads (default: all cores)\n"
+        "  --out FILE    write the JSON report to FILE\n"
+        "  --effort E    quick | default | full\n"
+        "  --quick       same as --effort quick\n"
+        "  --full        same as --effort full\n"
+        "  --seed S      base seed (default %llu)\n"
+        "  --runs GLOB   keep only run ids matching GLOB\n"
+        "  --timing      include wall-clock metadata in the "
+        "report\n"
+        "  --list-runs   print the planned run grid and exit\n"
+        "  --quiet       suppress tables, print a summary only\n",
+        static_cast<unsigned long long>(kBaseSeed));
+}
+
+/** Parse options shared by `sfx run` and the bench wrappers.
+ *  Returns false (after printing a message) on bad usage. */
+bool
+parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
+                bool accept_patterns)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto need_value = [&](const char *flag) -> char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "sfx: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            char *v = need_value("--jobs");
+            if (!v)
+                return false;
+            opts.jobs = std::atoi(v);
+            if (opts.jobs < 1) {
+                std::fprintf(stderr,
+                             "sfx: --jobs must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--out" || arg == "-o") {
+            char *v = need_value("--out");
+            if (!v)
+                return false;
+            opts.outPath = v;
+        } else if (arg == "--effort") {
+            char *v = need_value("--effort");
+            if (!v)
+                return false;
+            try {
+                opts.effort = parseEffort(v);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "sfx: %s\n", e.what());
+                return false;
+            }
+        } else if (arg == "--quick") {
+            opts.effort = Effort::Quick;
+        } else if (arg == "--full") {
+            opts.effort = Effort::Full;
+        } else if (arg == "--seed") {
+            char *v = need_value("--seed");
+            if (!v)
+                return false;
+            char *end = nullptr;
+            errno = 0;
+            opts.baseSeed = std::strtoull(v, &end, 10);
+            if (errno != 0 || end == v || *end != '\0') {
+                std::fprintf(stderr,
+                             "sfx: --seed needs an unsigned "
+                             "integer, got '%s'\n",
+                             v);
+                return false;
+            }
+        } else if (arg == "--runs") {
+            char *v = need_value("--runs");
+            if (!v)
+                return false;
+            opts.runFilter = v;
+        } else if (arg == "--timing") {
+            opts.timing = true;
+        } else if (arg == "--list-runs") {
+            opts.listRuns = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            opts.helpShown = true;
+            return false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sfx: unknown option: %s\n",
+                         argv[i]);
+            return false;
+        } else if (accept_patterns) {
+            opts.patterns.emplace_back(arg);
+        } else {
+            std::fprintf(stderr, "sfx: unexpected argument: %s\n",
+                         argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+doList()
+{
+    const Registry &r = registry();
+    std::size_t width = 0;
+    for (const ExperimentSpec &spec : r.all())
+        width = std::max(width, spec.name.size());
+    for (const ExperimentSpec &spec : r.all())
+        std::printf("%-*s  [%s]  %s\n", static_cast<int>(width),
+                    spec.name.c_str(), spec.artefact.c_str(),
+                    spec.title.c_str());
+    return 0;
+}
+
+int
+doRun(const CliOptions &opts)
+{
+    std::string joined;
+    for (const std::string &p : opts.patterns) {
+        if (!joined.empty())
+            joined.push_back(',');
+        joined += p;
+    }
+    const auto specs = registry().match(joined);
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "sfx: no experiment matches '%s' (try `sfx "
+                     "list`)\n",
+                     joined.c_str());
+        return 2;
+    }
+
+    PlanContext plan_ctx;
+    plan_ctx.effort = opts.effort;
+    plan_ctx.baseSeed = opts.baseSeed;
+
+    // Plan every matched experiment, applying the run-id filter.
+    const auto plan_runs = [&](const ExperimentSpec *spec) {
+        auto runs = spec->plan(plan_ctx);
+        if (!opts.runFilter.empty())
+            std::erase_if(runs, [&](const RunSpec &run) {
+                return !globMatch(opts.runFilter, run.id);
+            });
+        return runs;
+    };
+
+    if (opts.listRuns) {
+        for (const ExperimentSpec *spec : specs) {
+            const auto runs = plan_runs(spec);
+            std::printf("%s (%zu runs)\n", spec->name.c_str(),
+                        runs.size());
+            for (const RunSpec &run : runs)
+                std::printf("  %s\n", run.id.c_str());
+        }
+        return 0;
+    }
+
+    SchedulerOptions sched;
+    sched.jobs = opts.jobs;
+    sched.effort = opts.effort;
+    sched.baseSeed = opts.baseSeed;
+
+    std::vector<ExperimentResults> all;
+    all.reserve(specs.size());
+    bool any_failed = false;
+    const auto suite_start = std::chrono::steady_clock::now();
+    for (const ExperimentSpec *spec : specs) {
+        const auto runs = plan_runs(spec);
+        if (runs.empty() && !opts.runFilter.empty())
+            continue;
+        if (!opts.quiet) {
+            std::printf("== %s [%s] — %s\n", spec->name.c_str(),
+                        spec->artefact.c_str(),
+                        spec->title.c_str());
+            std::printf("   effort %s, %zu runs, %d jobs\n",
+                        std::string(effortName(opts.effort))
+                            .c_str(),
+                        runs.size(),
+                        effectiveJobs(sched, runs.size()));
+            std::fflush(stdout);
+        }
+        ExperimentResults results;
+        results.spec = spec;
+        const auto start = std::chrono::steady_clock::now();
+        results.runs = runExperiment(*spec, runs, sched);
+        results.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        for (const RunResult &r : results.runs) {
+            if (r.failed) {
+                any_failed = true;
+                std::fprintf(stderr, "sfx: %s/%s FAILED: %s\n",
+                             spec->name.c_str(), r.id.c_str(),
+                             r.error.c_str());
+            }
+        }
+        if (!opts.quiet) {
+            std::fputs(renderTable(results).c_str(), stdout);
+            std::printf("   (%.1f ms)\n\n", results.wallMs);
+            std::fflush(stdout);
+        }
+        all.push_back(std::move(results));
+    }
+    const double suite_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - suite_start)
+            .count();
+
+    std::size_t total_runs = 0;
+    for (const ExperimentResults &er : all)
+        total_runs += er.runs.size();
+    if (total_runs == 0 && !opts.runFilter.empty()) {
+        std::fprintf(stderr,
+                     "sfx: --runs '%s' matched no run in any "
+                     "selected experiment (try --list-runs)\n",
+                     opts.runFilter.c_str());
+        return 2;
+    }
+    std::printf("%zu experiment(s), %zu run(s) in %.1f ms%s\n",
+                all.size(), total_runs, suite_ms,
+                any_failed ? " — FAILURES above" : "");
+
+    if (!opts.outPath.empty()) {
+        ReportOptions ropts;
+        ropts.effort = opts.effort;
+        ropts.baseSeed = opts.baseSeed;
+        ropts.jobs = opts.jobs;
+        ropts.includeTiming = opts.timing;
+        try {
+            writeFile(opts.outPath,
+                      buildReport(all, ropts).dump(2) + "\n");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sfx: %s\n", e.what());
+            return 1;
+        }
+        std::printf("report: %s\n", opts.outPath.c_str());
+    }
+    return any_failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+sfxMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage(stderr);
+        return 2;
+    }
+    const std::string_view command = argv[1];
+    if (command == "list")
+        return doList();
+    if (command == "run") {
+        CliOptions opts;
+        if (!parseRunOptions(argc, argv, 2, opts, true))
+            return opts.helpShown ? 0 : 2;
+        if (opts.patterns.empty()) {
+            std::fprintf(stderr,
+                         "sfx: run needs at least one experiment "
+                         "name or glob\n");
+            return 2;
+        }
+        return doRun(opts);
+    }
+    if (command == "--help" || command == "-h") {
+        printUsage(stdout);
+        return 0;
+    }
+    std::fprintf(stderr, "sfx: unknown command: %s\n", argv[1]);
+    printUsage(stderr);
+    return 2;
+}
+
+int
+benchMain(const std::string &patterns, int argc, char **argv)
+{
+    CliOptions opts;
+    if (!parseRunOptions(argc, argv, 1, opts, false))
+        return opts.helpShown ? 0 : 2;
+    opts.patterns = {patterns};
+    return doRun(opts);
+}
+
+} // namespace sf::exp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal helpers shared by the built-in experiment definitions
+ * (the successors of the old bench/bench_util.hpp helpers).
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "exp/spec.hpp"
+
+namespace sf::exp {
+
+/** printf-style std::string formatter. */
+inline std::string
+fmt(const char *format, ...)
+{
+    char buffer[160];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof buffer, format, args);
+    va_end(args);
+    return buffer;
+}
+
+/** Pick a value by effort level (by value: callers pass literals,
+ *  and returning a reference to a parameter would invite dangling
+ *  `const auto &` bindings). */
+template <typename T>
+T
+pick(Effort effort, const T &quick, const T &def, const T &full)
+{
+    if (effort == Effort::Quick)
+        return quick;
+    if (effort == Effort::Full)
+        return full;
+    return def;
+}
+
+} // namespace sf::exp

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Routing-overhead microbenchmarks (paper Section III-B claims):
+ * forwarding decisions cost a fixed, small number of distance
+ * computations independent of scale; routing state stays bounded
+ * at p(p+1) entries; construction and reconfiguration are cheap.
+ *
+ * Replaces the old google-benchmark harness with steady_clock
+ * timing loops so the experiment rides the same registry, CLI, and
+ * report as everything else. Timing metrics are inherently
+ * machine-dependent, so the spec is marked non-deterministic and
+ * excluded from byte-identical report checks.
+ */
+
+#include <chrono>
+#include <vector>
+
+#include "core/string_figure.hpp"
+#include "core/topology_builder.hpp"
+#include "exp/experiments/builtin.hpp"
+#include "exp/experiments/common.hpp"
+#include "exp/registry.hpp"
+#include "net/rng.hpp"
+
+namespace sf::exp {
+
+namespace {
+
+core::SFParams
+paramsFor(std::size_t n, std::uint64_t seed)
+{
+    core::SFParams params;
+    params.numNodes = n;
+    params.routerPorts = n <= 128 ? 4 : 8;
+    params.seed = seed;
+    return params;
+}
+
+/**
+ * Run @p op in a timing loop for ~@p budget_ms and return average
+ * nanoseconds per iteration (includes a short warmup batch).
+ */
+template <typename Op>
+double
+nsPerIteration(Op &&op, double budget_ms)
+{
+    using clock = std::chrono::steady_clock;
+    for (int i = 0; i < 64; ++i)
+        op();
+    std::uint64_t iterations = 0;
+    const auto start = clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        budget_ms));
+    auto now = start;
+    while (now < deadline) {
+        for (int i = 0; i < 256; ++i)
+            op();
+        iterations += 256;
+        now = clock::now();
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(now - start)
+            .count();
+    return ns / static_cast<double>(iterations);
+}
+
+ExperimentSpec
+microSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "micro_routing";
+    spec.artefact = "Sec III-B";
+    spec.title = "routing/decision/construction latency "
+                 "microbenchmarks (wall-clock; non-deterministic)";
+    spec.deterministic = false;
+    spec.plan = [](const PlanContext &ctx) {
+        const double budget_ms = pick(ctx.effort, 20.0, 80.0, 300.0);
+        std::vector<RunSpec> runs;
+
+        const auto add_decision =
+            [&](const char *which, std::size_t n, bool widen) {
+                RunSpec run;
+                run.id = fmt("%s/n%zu", which, n);
+                run.params.set("op", which);
+                run.params.set("nodes", n);
+                run.body = [n, widen, budget_ms](
+                               const RunContext &rc) -> Json {
+                    const core::StringFigure topo(
+                        paramsFor(n, rc.baseSeed));
+                    Rng rng(rc.seed);
+                    std::vector<LinkId> out;
+                    const double ns = nsPerIteration(
+                        [&] {
+                            const auto s = static_cast<NodeId>(
+                                rng.below(n));
+                            const auto t = static_cast<NodeId>(
+                                rng.below(n));
+                            if (s == t)
+                                return;
+                            out.clear();
+                            topo.routeCandidates(s, t, widen,
+                                                 out);
+                        },
+                        budget_ms);
+                    Json m = Json::object();
+                    m.set("ns_per_decision", ns);
+                    m.set("table_entries_max",
+                          topo.tables().maxEntriesSeen());
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            };
+        for (const std::size_t n : {64u, 256u, 1296u})
+            add_decision("greedy_decision", n, false);
+        for (const std::size_t n : {256u, 1296u})
+            add_decision("adaptive_first_hop", n, true);
+
+        for (const std::size_t n : {256u, 1296u}) {
+            RunSpec run;
+            run.id = fmt("routed_walk/n%zu", n);
+            run.params.set("op", "routed_walk");
+            run.params.set("nodes", n);
+            run.body = [n, budget_ms](const RunContext &rc)
+                -> Json {
+                const core::StringFigure topo(
+                    paramsFor(n, rc.baseSeed));
+                Rng rng(rc.seed);
+                long long sink = 0;
+                const double ns = nsPerIteration(
+                    [&] {
+                        const auto s =
+                            static_cast<NodeId>(rng.below(n));
+                        const auto t =
+                            static_cast<NodeId>(rng.below(n));
+                        if (s == t)
+                            return;
+                        sink += net::routedHops(topo, s, t);
+                    },
+                    budget_ms);
+                Json m = Json::object();
+                m.set("ns_per_walk", ns);
+                m.set("checksum", sink >= 0);
+                return m;
+            };
+            runs.push_back(std::move(run));
+        }
+
+        for (const std::size_t n : {128u, 1296u}) {
+            RunSpec run;
+            run.id = fmt("topology_build/n%zu", n);
+            run.params.set("op", "topology_build");
+            run.params.set("nodes", n);
+            run.body = [n, budget_ms](const RunContext &rc)
+                -> Json {
+                std::size_t links = 0;
+                const double ns = nsPerIteration(
+                    [&] {
+                        const auto data = core::buildTopology(
+                            paramsFor(n, rc.baseSeed));
+                        links = data.graph.numLinks();
+                    },
+                    // Construction is ms-scale; one batch is
+                    // enough at quick effort.
+                    budget_ms * 10.0);
+                Json m = Json::object();
+                m.set("ms_per_build", ns / 1e6);
+                m.set("links", links);
+                return m;
+            };
+            runs.push_back(std::move(run));
+        }
+
+        for (const std::size_t n : {256u, 1296u}) {
+            RunSpec run;
+            run.id = fmt("reconfig_round_trip/n%zu", n);
+            run.params.set("op", "reconfig_round_trip");
+            run.params.set("nodes", n);
+            run.body = [n, budget_ms](const RunContext &rc)
+                -> Json {
+                core::StringFigure topo(
+                    paramsFor(n, rc.baseSeed));
+                Rng rng(rc.seed);
+                const double ns = nsPerIteration(
+                    [&] {
+                        const auto u =
+                            static_cast<NodeId>(rng.below(n));
+                        if (!topo.reconfig().canGate(u))
+                            return;
+                        topo.gate(u);
+                        topo.ungate(u);
+                    },
+                    budget_ms);
+                Json m = Json::object();
+                m.set("us_per_round_trip", ns / 1e3);
+                m.set("table_rebuilds",
+                      topo.reconfig().stats().tableRebuilds);
+                return m;
+            };
+            runs.push_back(std::move(run));
+        }
+        return runs;
+    };
+    return spec;
+}
+
+} // namespace
+
+void
+registerMicroExperiments(Registry &r)
+{
+    r.add(microSpec());
+}
+
+void
+registerBuiltinExperiments(Registry &r)
+{
+    registerStructureExperiments(r);
+    registerTrafficExperiments(r);
+    registerWorkloadExperiments(r);
+    registerAblationExperiments(r);
+    registerMicroExperiments(r);
+}
+
+} // namespace sf::exp

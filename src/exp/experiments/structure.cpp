@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Graph-structure experiments — everything measured without the
+ * flit simulator: Fig 5 (average shortest path of Jellyfish / S2 /
+ * SF), Fig 9(a) (hop counts of every design), Table II (feature
+ * matrix), and the Section V bisection-bandwidth methodology.
+ */
+
+#include <vector>
+
+#include "core/string_figure.hpp"
+#include "exp/experiments/builtin.hpp"
+#include "exp/experiments/common.hpp"
+#include "exp/registry.hpp"
+#include "net/bisection.hpp"
+#include "net/paths.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "topos/factory.hpp"
+#include "topos/jellyfish.hpp"
+#include "topos/space_shuffle.hpp"
+
+namespace sf::exp {
+
+namespace {
+
+ExperimentSpec
+fig05Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig05_path_lengths";
+    spec.artefact = "Fig 5";
+    spec.title = "avg shortest path length vs network size "
+                 "(Jellyfish / S2 / SF, p = 8)";
+    spec.plan = [](const PlanContext &ctx) {
+        const int seeds = pick(ctx.effort, 1, 3, 5);
+        std::vector<RunSpec> runs;
+        for (const std::size_t n : {100u, 200u, 400u, 800u, 1200u}) {
+            for (const std::string design :
+                 {"jellyfish", "s2", "sf"}) {
+                RunSpec run;
+                run.id = fmt("n%zu/%s", n, design.c_str());
+                run.params.set("nodes", n);
+                run.params.set("design", design);
+                run.params.set("seeds", seeds);
+                run.body = [n, design,
+                            seeds](const RunContext &rc) -> Json {
+                    double avg = 0.0;
+                    double p10 = 0.0;
+                    double p90 = 0.0;
+                    double diam = 0.0;
+                    for (int s = 0; s < seeds; ++s) {
+                        const std::uint64_t seed =
+                            rc.baseSeed + static_cast<unsigned>(s);
+                        net::PathStats stats;
+                        if (design == "jellyfish") {
+                            // Degree 8 = the same wire budget as
+                            // the random-topology memory networks.
+                            const topos::Jellyfish jf(n, 8, seed);
+                            stats =
+                                net::allPairsStats(jf.graph());
+                        } else if (design == "s2") {
+                            const topos::SpaceShuffle s2(n, 8,
+                                                         seed);
+                            stats =
+                                net::allPairsStats(s2.graph());
+                        } else {
+                            core::SFParams params;
+                            params.numNodes = n;
+                            params.routerPorts = 8;
+                            params.seed = seed;
+                            const core::StringFigure sf_net(
+                                params);
+                            stats = net::allPairsStats(
+                                sf_net.graph());
+                        }
+                        avg += stats.average;
+                        p10 += stats.p10;
+                        p90 += stats.p90;
+                        diam += stats.diameter;
+                    }
+                    const double k = seeds;
+                    Json m = Json::object();
+                    m.set("avg_path", avg / k);
+                    m.set("p10", p10 / k);
+                    m.set("p90", p90 / k);
+                    m.set("diameter", diam / k);
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            }
+        }
+        return runs;
+    };
+    return spec;
+}
+
+ExperimentSpec
+fig09aSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig09a_hop_counts";
+    spec.artefact = "Fig 9(a)";
+    spec.title = "average shortest and routed hop count vs number "
+                 "of memory nodes";
+    spec.plan = [](const PlanContext &ctx) {
+        std::vector<std::size_t> sizes{16, 17, 32, 61, 64, 113,
+                                       128, 256, 512, 1024, 1296};
+        if (ctx.effort == Effort::Quick)
+            sizes = {16, 64, 256, 1024};
+        std::vector<RunSpec> runs;
+        for (const std::size_t n : sizes) {
+            for (const auto kind : topos::kAllKinds) {
+                if (!topos::supported(kind, n))
+                    continue;
+                RunSpec run;
+                const std::string kname = topos::kindName(kind);
+                run.id = fmt("n%zu/%s", n, kname.c_str());
+                run.params.set("nodes", n);
+                run.params.set("design", kname);
+                run.params.set(
+                    "ports", kind == topos::TopoKind::S2 ||
+                                     kind == topos::TopoKind::SF
+                                 ? topos::randomTopologyPorts(n)
+                                 : topos::paperRouterPorts(kind, n));
+                run.body = [n, kind](const RunContext &rc) -> Json {
+                    // ODM with its base multiplier: Fig 9(a)
+                    // compares hop structure, not bandwidth.
+                    const int odm_mult =
+                        kind == topos::TopoKind::ODM ? 1 : 0;
+                    const auto topo = topos::makeTopology(
+                        kind, n, rc.baseSeed, odm_mult);
+                    Rng rng(rc.seed);
+                    // All pairs when small; sampled beyond.
+                    const auto probe = net::probeRoutedHops(
+                        *topo, rng, n <= 256 ? 0 : 40000);
+                    Json m = Json::object();
+                    m.set("shortest_avg",
+                          net::allPairsStats(topo->graph())
+                              .average);
+                    m.set("routed_avg", probe.avgHops);
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            }
+        }
+        // Percentile detail for the largest SF instances
+        // (paper text: p10 = 4, p90 = 5 beyond 1000 nodes).
+        for (const std::size_t n : {1024u, 1296u}) {
+            RunSpec run;
+            run.id = fmt("sf_percentiles/n%zu", n);
+            run.params.set("nodes", n);
+            run.params.set("design", "SF");
+            run.body = [n](const RunContext &rc) -> Json {
+                core::SFParams params;
+                params.numNodes = n;
+                params.routerPorts = 8;
+                params.seed = rc.baseSeed;
+                const core::StringFigure sf_net(params);
+                const auto stats =
+                    net::allPairsStats(sf_net.graph());
+                Json m = Json::object();
+                m.set("shortest_avg", stats.average);
+                m.set("p10", static_cast<std::int64_t>(stats.p10));
+                m.set("p90", static_cast<std::int64_t>(stats.p90));
+                m.set("diameter",
+                      static_cast<std::int64_t>(stats.diameter));
+                return m;
+            };
+            runs.push_back(std::move(run));
+        }
+        return runs;
+    };
+    return spec;
+}
+
+ExperimentSpec
+table2Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "table2_features";
+    spec.artefact = "Table II";
+    spec.title = "topology features and requirements";
+    spec.plan = [](const PlanContext &) {
+        std::vector<RunSpec> runs;
+        for (const auto kind :
+             {topos::TopoKind::ODM, topos::TopoKind::AFB,
+              topos::TopoKind::S2, topos::TopoKind::SF}) {
+            RunSpec run;
+            const std::string kname = topos::kindName(kind);
+            run.id = kname;
+            run.params.set("design", kname);
+            run.body = [kind](const RunContext &rc) -> Json {
+                const auto small = topos::makeTopology(
+                    kind, 256, rc.baseSeed, 2);
+                const auto large = topos::makeTopology(
+                    kind, 1024, rc.baseSeed, 2);
+                const auto f = small->features();
+                Json m = Json::object();
+                m.set("high_radix", f.requiresHighRadix);
+                m.set("port_scaling", f.portCountScales);
+                m.set("reconfigurable", f.reconfigurable);
+                m.set("ports_at_256", small->routerPorts());
+                m.set("ports_at_1024", large->routerPorts());
+                return m;
+            };
+            runs.push_back(std::move(run));
+        }
+        return runs;
+    };
+    return spec;
+}
+
+ExperimentSpec
+bisectionSpec()
+{
+    ExperimentSpec spec;
+    spec.name = "bisection_bandwidth";
+    spec.artefact = "Section V";
+    spec.title = "empirical min bisection bandwidth (max-flow, "
+                 "unit-capacity links)";
+    spec.plan = [](const PlanContext &ctx) {
+        const int partitions = pick(ctx.effort, 12, 12, 50);
+        const int instances = pick(ctx.effort, 2, 5, 20);
+        std::vector<std::size_t> sizes{64, 256, 1024};
+        if (ctx.effort == Effort::Quick)
+            sizes = {64, 256};
+        std::vector<RunSpec> runs;
+        for (const std::size_t n : sizes) {
+            for (const auto kind :
+                 {topos::TopoKind::DM, topos::TopoKind::FB,
+                  topos::TopoKind::AFB, topos::TopoKind::S2,
+                  topos::TopoKind::SF}) {
+                if (!topos::supported(kind, n))
+                    continue;
+                RunSpec run;
+                const std::string kname = topos::kindName(kind);
+                run.id = fmt("n%zu/%s", n, kname.c_str());
+                run.params.set("nodes", n);
+                run.params.set("design", kname);
+                run.params.set("partitions", partitions);
+                const bool random_topology =
+                    kind == topos::TopoKind::S2 ||
+                    kind == topos::TopoKind::SF;
+                const int reps = random_topology ? instances : 1;
+                run.params.set("instances", reps);
+                run.body = [n, kind, reps, partitions](
+                               const RunContext &rc) -> Json {
+                    double sum = 0.0;
+                    for (int i = 0; i < reps; ++i) {
+                        const auto topo = topos::makeTopology(
+                            kind, n,
+                            rc.baseSeed +
+                                static_cast<unsigned>(i));
+                        Rng rng(rc.baseSeed * 31 +
+                                static_cast<unsigned>(i));
+                        sum += static_cast<double>(
+                            net::minBisectionBandwidth(
+                                topo->graph(), rng, partitions));
+                    }
+                    Json m = Json::object();
+                    m.set("bisection_flows", sum / reps);
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            }
+            // The parallel-link factor every other harness uses to
+            // bandwidth-match ODM to SF at this scale.
+            RunSpec mult;
+            mult.id = fmt("n%zu/odm_multiplier", n);
+            mult.params.set("nodes", n);
+            mult.params.set("design", "ODM");
+            mult.body = [n](const RunContext &rc) -> Json {
+                Json m = Json::object();
+                m.set("odm_multiplier",
+                      topos::matchOdmMultiplier(n, rc.baseSeed));
+                return m;
+            };
+            runs.push_back(std::move(mult));
+        }
+        return runs;
+    };
+    return spec;
+}
+
+} // namespace
+
+void
+registerStructureExperiments(Registry &r)
+{
+    r.add(fig05Spec());
+    r.add(fig09aSpec());
+    r.add(table2Spec());
+    r.add(bisectionSpec());
+}
+
+} // namespace sf::exp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Minimal JSON value model for experiment reports.
+ *
+ * Objects preserve insertion order and numbers print through
+ * std::to_chars (shortest round-trip form), so a report serialises
+ * byte-identically regardless of scheduling order or thread count —
+ * the property the determinism tests pin down. The parser exists for
+ * round-trip tests and for tools that post-process reports; it
+ * accepts exactly the grammar dump() emits (strict JSON, UTF-8
+ * passthrough).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sf::exp {
+
+/** Error raised by Json::parse on malformed input. */
+class JsonError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** An ordered JSON value (null / bool / int / double / string /
+ *  array / object). */
+class Json {
+  public:
+    using Array = std::vector<Json>;
+    using Member = std::pair<std::string, Json>;
+    using Object = std::vector<Member>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(std::int64_t i) : value_(i) {}
+    Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+    /** Full-range unsigned (seeds are 64-bit hashes; values above
+     *  INT64_MAX must serialise as their decimal unsigned form,
+     *  not wrap negative). */
+    Json(std::uint64_t u) : value_(u) {}
+    Json(double d) : value_(d) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(Array a) : value_(std::move(a)) {}
+    Json(Object o) : value_(std::move(o)) {}
+
+    static Json object() { return Json(Object{}); }
+    static Json array() { return Json(Array{}); }
+
+    bool isNull() const { return holds<std::nullptr_t>(); }
+    bool isBool() const { return holds<bool>(); }
+    bool isInt() const { return holds<std::int64_t>(); }
+    bool isUint() const { return holds<std::uint64_t>(); }
+    bool isDouble() const { return holds<double>(); }
+    bool isNumber() const
+    {
+        return isInt() || isUint() || isDouble();
+    }
+    bool isString() const { return holds<std::string>(); }
+    bool isArray() const { return holds<Array>(); }
+    bool isObject() const { return holds<Object>(); }
+
+    bool asBool() const { return std::get<bool>(value_); }
+    /** Signed integer value (uints in signed range convert). */
+    std::int64_t asInt() const
+    {
+        if (isUint())
+            return static_cast<std::int64_t>(asUint());
+        return std::get<std::int64_t>(value_);
+    }
+    /** Unsigned value (non-negative ints convert). */
+    std::uint64_t asUint() const
+    {
+        if (isInt())
+            return static_cast<std::uint64_t>(
+                std::get<std::int64_t>(value_));
+        return std::get<std::uint64_t>(value_);
+    }
+    /** Numeric value as double (ints widen). */
+    double asDouble() const
+    {
+        if (isInt())
+            return static_cast<double>(
+                std::get<std::int64_t>(value_));
+        if (isUint())
+            return static_cast<double>(
+                std::get<std::uint64_t>(value_));
+        return std::get<double>(value_);
+    }
+    const std::string &asString() const
+    {
+        return std::get<std::string>(value_);
+    }
+    const Array &asArray() const { return std::get<Array>(value_); }
+    Array &asArray() { return std::get<Array>(value_); }
+    const Object &asObject() const { return std::get<Object>(value_); }
+    Object &asObject() { return std::get<Object>(value_); }
+
+    /** Append to an array value. */
+    void push(Json v) { asArray().push_back(std::move(v)); }
+
+    /**
+     * Set a key on an object value (append; replaces an existing
+     * key in place, keeping its original position).
+     */
+    void set(std::string_view key, Json v);
+
+    /** Member lookup on an object, or nullptr. */
+    const Json *find(std::string_view key) const;
+
+    /** Member lookup that throws JsonError when absent. */
+    const Json &at(std::string_view key) const;
+
+    /** Structural equality. */
+    bool operator==(const Json &other) const;
+
+    /**
+     * Serialise. @p indent 0 means compact one-line output;
+     * otherwise pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Strict parse of a complete JSON document. */
+    static Json parse(std::string_view text);
+
+  private:
+    template <typename T> bool holds() const
+    {
+        return std::holds_alternative<T>(value_);
+    }
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, std::int64_t,
+                 std::uint64_t, double, std::string, Array, Object>
+        value_;
+};
+
+} // namespace sf::exp

@@ -1,0 +1,148 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/experiments/builtin.hpp"
+
+namespace sf::exp {
+
+std::string_view
+effortName(Effort effort)
+{
+    switch (effort) {
+    case Effort::Quick: return "quick";
+    case Effort::Full: return "full";
+    default: return "default";
+    }
+}
+
+Effort
+parseEffort(std::string_view name)
+{
+    if (name == "quick")
+        return Effort::Quick;
+    if (name == "default")
+        return Effort::Default;
+    if (name == "full")
+        return Effort::Full;
+    throw std::invalid_argument("unknown effort: " +
+                                std::string(name));
+}
+
+std::uint64_t
+deriveSeed(std::string_view experiment, std::string_view run_id,
+           std::uint64_t base)
+{
+    // FNV-1a over "<experiment>/<run_id>" ...
+    std::uint64_t h = 14695981039346656037ULL;
+    const auto mix_in = [&h](std::string_view s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+    };
+    mix_in(experiment);
+    mix_in("/");
+    mix_in(run_id);
+    // ... mixed with the base seed and finalised with splitmix64 so
+    // near-identical names land far apart.
+    h += base * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return h;
+}
+
+bool
+globMatch(std::string_view pattern, std::string_view text)
+{
+    std::size_t p = 0;
+    std::size_t t = 0;
+    std::size_t star = std::string_view::npos;
+    std::size_t star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == text[t] || pattern[p] == '?')) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+Registry::add(ExperimentSpec spec)
+{
+    if (find(spec.name))
+        throw std::invalid_argument("duplicate experiment: " +
+                                    spec.name);
+    const auto pos = std::lower_bound(
+        specs_.begin(), specs_.end(), spec,
+        [](const ExperimentSpec &a, const ExperimentSpec &b) {
+            return a.name < b.name;
+        });
+    specs_.insert(pos, std::move(spec));
+}
+
+const ExperimentSpec *
+Registry::find(std::string_view name) const
+{
+    for (const ExperimentSpec &spec : specs_)
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+std::vector<const ExperimentSpec *>
+Registry::match(std::string_view patterns) const
+{
+    std::vector<std::string_view> parts;
+    std::size_t start = 0;
+    while (start <= patterns.size()) {
+        const std::size_t comma = patterns.find(',', start);
+        const std::size_t end =
+            comma == std::string_view::npos ? patterns.size()
+                                            : comma;
+        if (end > start)
+            parts.push_back(patterns.substr(start, end - start));
+        if (comma == std::string_view::npos)
+            break;
+        start = comma + 1;
+    }
+    std::vector<const ExperimentSpec *> out;
+    for (const ExperimentSpec &spec : specs_) {
+        for (const std::string_view pattern : parts) {
+            if (globMatch(pattern, spec.name)) {
+                out.push_back(&spec);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+Registry &
+registry()
+{
+    static Registry instance = [] {
+        Registry r;
+        registerBuiltinExperiments(r);
+        return r;
+    }();
+    return instance;
+}
+
+} // namespace sf::exp

@@ -1,0 +1,91 @@
+#include "exp/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sf::exp {
+
+int
+effectiveJobs(const SchedulerOptions &opts, std::size_t n)
+{
+    int jobs = opts.jobs;
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(jobs) > n)
+        jobs = static_cast<int>(n ? n : 1);
+    return jobs;
+}
+
+std::vector<RunResult>
+runExperiment(const ExperimentSpec &exp,
+              const std::vector<RunSpec> &runs,
+              const SchedulerOptions &opts)
+{
+    std::vector<RunResult> results(runs.size());
+    if (runs.empty())
+        return results;
+
+    const int jobs = effectiveJobs(opts, runs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= runs.size())
+                return;
+            const RunSpec &run = runs[i];
+            RunResult &result = results[i];
+            result.id = run.id;
+            result.params = run.params;
+            RunContext ctx;
+            ctx.seed = deriveSeed(exp.name, run.id, opts.baseSeed);
+            ctx.baseSeed = opts.baseSeed;
+            ctx.effort = opts.effort;
+            result.seed = ctx.seed;
+            const auto start =
+                std::chrono::steady_clock::now();
+            try {
+                result.metrics = run.body(ctx);
+            } catch (const std::exception &e) {
+                result.failed = true;
+                result.error = e.what();
+            } catch (...) {
+                result.failed = true;
+                result.error = "unknown exception";
+            }
+            result.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const std::size_t completed =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opts.onRunDone) {
+                const std::lock_guard<std::mutex> lock(
+                    progress_mutex);
+                opts.onRunDone(completed, runs.size(), result);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace sf::exp

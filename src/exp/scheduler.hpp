@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thread-pool scheduler fanning independent experiment runs out
+ * across cores. Results land at their plan index regardless of
+ * completion order, and per-run seeds derive from stable names, so
+ * any job count produces the identical result vector.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace sf::exp {
+
+/** Outcome of one scheduled run. */
+struct RunResult {
+    std::string id;
+    Json params = Json::object();
+    /** Metrics the body returned (empty object when failed). */
+    Json metrics = Json::object();
+    std::uint64_t seed = 0;
+    /** Wall-clock of the body, milliseconds (not in default reports). */
+    double wallMs = 0.0;
+    bool failed = false;
+    std::string error;
+};
+
+/** Scheduler knobs. */
+struct SchedulerOptions {
+    /** Worker threads; 0 means hardware concurrency. */
+    int jobs = 0;
+    Effort effort = Effort::Default;
+    std::uint64_t baseSeed = kBaseSeed;
+    /**
+     * Progress hook, called after each run completes with
+     * (completed so far, total, finished run). Invoked under a lock;
+     * keep it cheap. May be empty.
+     */
+    std::function<void(std::size_t, std::size_t, const RunResult &)>
+        onRunDone;
+};
+
+/** Resolve the effective worker count for @p opts over @p n runs. */
+int effectiveJobs(const SchedulerOptions &opts, std::size_t n);
+
+/**
+ * Execute every run of @p exp (already planned as @p runs) and
+ * return results in plan order. A throwing body marks its run
+ * failed and never tears down the sweep.
+ */
+std::vector<RunResult> runExperiment(const ExperimentSpec &exp,
+                                     const std::vector<RunSpec> &runs,
+                                     const SchedulerOptions &opts);
+
+} // namespace sf::exp

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * `sfx` — the unified String Figure experiment CLI.
+ */
+
+#include "exp/driver.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return sf::exp::sfxMain(argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "net/rng.hpp"
 #include "net/types.hpp"
 
 namespace sf::net {
@@ -145,6 +146,29 @@ class Topology
  *
  * @return Hop count, or -1 if the walk dead-ends or exceeds 4N hops.
  */
+inline int routedHops(const Topology &topo, NodeId src, NodeId dst);
+
+/** Result of probeRoutedHops: routed-path quality over node pairs. */
+struct RoutedProbe {
+    /** Mean routed hops over delivered pairs; -1 when none. */
+    double avgHops = -1.0;
+    /** Delivered / attempted, percent (attempted excludes s == t
+     *  and pairs with a gated endpoint). */
+    double deliveredPct = 0.0;
+    std::size_t attempted = 0;
+    std::size_t delivered = 0;
+};
+
+/**
+ * Probe routed-path quality: walk @p samples random (or, when
+ * @p samples <= 0, all) live ordered pairs with routedHops and
+ * aggregate. The shared engine behind the Fig 9(a) hop counts and
+ * the routing-table / reconfiguration ablations.
+ */
+RoutedProbe probeRoutedHops(const Topology &topo, Rng &rng,
+                            int samples);
+
+
 inline int
 routedHops(const Topology &topo, NodeId src, NodeId dst)
 {

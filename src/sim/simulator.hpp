@@ -22,6 +22,22 @@ struct RunPhases {
     Cycle warmup = 1000;
     Cycle measure = 3000;
     Cycle drainLimit = 20000;
+
+    /**
+     * The abbreviated phases every figure sweep uses for saturation
+     * searches (Fig 10 and the ablations): long enough to reach
+     * steady state, short enough to afford hundreds of grid cells.
+     */
+    static constexpr RunPhases saturationProbe()
+    {
+        return {800, 2000, 12000};
+    }
+
+    /** The longer measurement window of the Fig 11 latency curves. */
+    static constexpr RunPhases latencyCurve()
+    {
+        return {800, 2500, 15000};
+    }
 };
 
 /** Outcome of one synthetic-traffic run. */

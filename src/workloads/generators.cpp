@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "net/rng.hpp"
 #include "workloads/cache_model.hpp"
@@ -431,6 +434,45 @@ generateTrace(Workload w, std::uint64_t seed, std::size_t num_ops,
     trace.l1HitRate = rate(l1.hits(), l1.misses());
     trace.l3HitRate = rate(l3.hits(), l3.misses());
     return trace;
+}
+
+std::shared_ptr<const Trace>
+sharedTrace(Workload w, std::uint64_t seed, std::size_t num_ops,
+            std::size_t warmup_ops)
+{
+    struct Key {
+        Workload w;
+        std::uint64_t seed;
+        std::size_t numOps;
+        std::size_t warmupOps;
+        bool operator<(const Key &o) const
+        {
+            return std::tie(w, seed, numOps, warmupOps) <
+                   std::tie(o.w, o.seed, o.numOps, o.warmupOps);
+        }
+    };
+    // Strong entries: a trace is a few MB and the key space of one
+    // process (workloads x one or two op counts) stays tiny, while
+    // a run that releases its reference must not evict the trace
+    // the next sequential run wants.
+    static std::mutex mutex;
+    static std::map<Key, std::shared_ptr<const Trace>> cache;
+
+    const Key key{w, seed, num_ops, warmup_ops};
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (const auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
+    // Generate outside the lock: traces take seconds to build, and
+    // different keys should not serialise each other. Concurrent
+    // first requests for the same key may generate twice; both
+    // results are identical and the first insert wins.
+    auto made = std::make_shared<const Trace>(
+        generateTrace(w, seed, num_ops, warmup_ops));
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto [it, inserted] = cache.emplace(key, std::move(made));
+    return it->second;
 }
 
 } // namespace sf::wl

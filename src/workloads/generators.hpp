@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "workloads/trace.hpp"
@@ -59,5 +60,17 @@ std::string workloadName(Workload w);
 Trace generateTrace(Workload w, std::uint64_t seed,
                     std::size_t num_ops = 100000,
                     std::size_t warmup_ops = 700000);
+
+/**
+ * Memoised, thread-safe variant of generateTrace: experiment sweeps
+ * replay the identical trace against every network design, and
+ * regenerating it per cell (700K warmup ops through the cache
+ * hierarchy each time) dominated their runtime. The shared pointer
+ * keeps entries immutable and safe to hand to concurrent runs.
+ */
+std::shared_ptr<const Trace>
+sharedTrace(Workload w, std::uint64_t seed,
+            std::size_t num_ops = 100000,
+            std::size_t warmup_ops = 700000);
 
 } // namespace sf::wl
