@@ -42,7 +42,10 @@ main()
         for (const auto kind :
              {topos::TopoKind::DM, topos::TopoKind::ODM,
               topos::TopoKind::S2, topos::TopoKind::SF}) {
-            const auto topo = topos::makeTopology(kind, n, 3);
+            // Shared immutable topology: all three patterns probe
+            // the same instance, built once by the process-wide
+            // cache.
+            const auto topo = topos::cachedTopology(kind, n, 3);
             const double sat = sim::findSaturationRate(
                 *topo, pattern, cfg, phases, 0.15);
             std::printf(" %-8.3f", sat);

@@ -7,7 +7,7 @@
 namespace sf::core {
 
 StringFigure::StringFigure(const SFParams &params)
-    : data_(buildTopology(params)), router_(data_, tables_)
+    : data_(buildTopologyData(params)), router_(data_, tables_)
 {
     tables_.rebuildAll(data_.graph);
     reconfig_ = std::make_unique<ReconfigEngine>(data_, tables_);
@@ -81,50 +81,60 @@ StringFigure::reduceTo(std::size_t live_target, Rng &rng)
 void
 StringFigure::invalidateFallback()
 {
-    fallbackValid_ = false;
+    const std::lock_guard<std::mutex> lock(fallbackMutex_);
+    fallbackValid_.store(false, std::memory_order_release);
     fallbackNextLink_.clear();
 }
 
 LinkId
 StringFigure::escapeLink(NodeId current, NodeId dest) const
 {
-    ++fallbacks_;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t n = numNodes();
-    if (!fallbackValid_) {
-        // Next-hop table from per-destination reverse BFS: for each
-        // destination column, a node's entry is any enabled out-link
-        // that decreases the BFS distance to the destination.
-        fallbackNextLink_.assign(n * n, kInvalidLink);
-        net::Graph reversed(n);
-        const net::Graph &g = data_.graph;
-        for (LinkId id = 0;
-             id < static_cast<LinkId>(g.numLinks()); ++id) {
-            const net::Link &l = g.link(id);
-            if (l.enabled)
-                reversed.addLink(l.dst, l.src);
-        }
-        for (NodeId dst = 0; dst < n; ++dst) {
-            if (!reconfig_->alive(dst))
+    if (!fallbackValid_.load(std::memory_order_acquire))
+        buildFallbackTable();
+    return fallbackNextLink_[current * n + dest];
+}
+
+void
+StringFigure::buildFallbackTable() const
+{
+    const std::lock_guard<std::mutex> lock(fallbackMutex_);
+    if (fallbackValid_.load(std::memory_order_relaxed))
+        return;
+    const std::size_t n = numNodes();
+    // Next-hop table from per-destination reverse BFS: for each
+    // destination column, a node's entry is any enabled out-link
+    // that decreases the BFS distance to the destination.
+    fallbackNextLink_.assign(n * n, kInvalidLink);
+    net::Graph reversed(n);
+    const net::Graph &g = data_.graph;
+    for (LinkId id = 0; id < static_cast<LinkId>(g.numLinks());
+         ++id) {
+        const net::Link &l = g.link(id);
+        if (l.enabled)
+            reversed.addLink(l.dst, l.src);
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+        if (!reconfig_->alive(dst))
+            continue;
+        const auto dist = net::bfsDistances(
+            reversed, dst, reconfig_->aliveMask());
+        for (NodeId u = 0; u < n; ++u) {
+            if (u == dst || dist[u] == net::kUnreachable)
                 continue;
-            const auto dist = net::bfsDistances(
-                reversed, dst, reconfig_->aliveMask());
-            for (NodeId u = 0; u < n; ++u) {
-                if (u == dst || dist[u] == net::kUnreachable)
-                    continue;
-                for (LinkId id : g.outLinks(u)) {
-                    const net::Link &l = g.link(id);
-                    if (l.enabled &&
-                        dist[l.dst] != net::kUnreachable &&
-                        dist[l.dst] < dist[u]) {
-                        fallbackNextLink_[u * n + dst] = id;
-                        break;
-                    }
+            for (LinkId id : g.outLinks(u)) {
+                const net::Link &l = g.link(id);
+                if (l.enabled &&
+                    dist[l.dst] != net::kUnreachable &&
+                    dist[l.dst] < dist[u]) {
+                    fallbackNextLink_[u * n + dst] = id;
+                    break;
                 }
             }
         }
-        fallbackValid_ = true;
     }
-    return fallbackNextLink_[current * n + dest];
+    fallbackValid_.store(true, std::memory_order_release);
 }
 
 } // namespace sf::core

@@ -18,7 +18,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,20 +101,31 @@ class StringFigure : public net::Topology
      * degraded reconfiguration states; always 0 on the full
      * topology).
      */
-    std::uint64_t fallbackCount() const { return fallbacks_; }
+    std::uint64_t fallbackCount() const
+    {
+        return fallbacks_.load(std::memory_order_relaxed);
+    }
 
   private:
     void invalidateFallback();
+    void buildFallbackTable() const;
 
     SFTopologyData data_;
     RoutingTables tables_;
     GreedyRouter router_;
     std::unique_ptr<ReconfigEngine> reconfig_;
 
-    /** Lazily built fallback next-hop table (link id per (u, dst)). */
+    /**
+     * Lazily built fallback next-hop table (link id per (u, dst)).
+     * Shared const instances may route from many threads, so the
+     * build is double-checked under the mutex and the counter is
+     * atomic. Gating (non-const) invalidates; shared instances are
+     * never gated.
+     */
+    mutable std::mutex fallbackMutex_;
     mutable std::vector<LinkId> fallbackNextLink_;
-    mutable bool fallbackValid_ = false;
-    mutable std::uint64_t fallbacks_ = 0;
+    mutable std::atomic<bool> fallbackValid_{false};
+    mutable std::atomic<std::uint64_t> fallbacks_{0};
 };
 
 } // namespace sf::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/string_figure.hpp"
+
 namespace sf::core {
 
 namespace {
@@ -214,9 +216,15 @@ class Builder
 } // namespace
 
 SFTopologyData
-buildTopology(const SFParams &params)
+buildTopologyData(const SFParams &params)
 {
     return Builder(params).run();
+}
+
+std::shared_ptr<const net::Topology>
+buildTopology(const SFParams &params)
+{
+    return std::make_shared<const StringFigure>(params);
 }
 
 } // namespace sf::core

@@ -31,12 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/coordinates.hpp"
 #include "core/params.hpp"
 #include "net/graph.hpp"
+#include "net/topology.hpp"
 
 namespace sf::core {
 
@@ -103,7 +105,18 @@ struct SFTopologyData {
     int portBudget() const { return params.routerPorts; }
 };
 
-/** Run the construction algorithm. */
-SFTopologyData buildTopology(const SFParams &params);
+/** Run the construction algorithm (raw builder output). */
+SFTopologyData buildTopologyData(const SFParams &params);
+
+/**
+ * Build a fully deployed String Figure network (construction,
+ * routing tables, reconfiguration engine) as a shared immutable
+ * topology. Immutable-shared is the ownership model every analysis
+ * and simulation consumer uses: one instance may serve any number
+ * of concurrent runs. Callers that need to gate/reconfigure
+ * construct a private core::StringFigure instead.
+ */
+std::shared_ptr<const net::Topology>
+buildTopology(const SFParams &params);
 
 } // namespace sf::core

@@ -1,0 +1,185 @@
+#include "exp/diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "exp/report.hpp"
+
+namespace sf::exp {
+
+namespace {
+
+/** Indexable view of a report's experiments / runs / metrics. */
+const Json::Array &
+experimentsOf(const Json &report, const char *which)
+{
+    if (!report.isObject())
+        throw JsonError(std::string(which) +
+                        ": not a JSON object");
+    const Json *schema = report.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kReportSchema)
+        throw JsonError(std::string(which) + ": not an " +
+                        kReportSchema + " document");
+    const Json *exps = report.find("experiments");
+    if (!exps || !exps->isArray())
+        throw JsonError(std::string(which) +
+                        ": missing experiments array");
+    return exps->asArray();
+}
+
+const Json *
+findByKey(const Json::Array &items, const char *key,
+          const std::string &value)
+{
+    for (const Json &item : items) {
+        const Json *k = item.find(key);
+        if (k && k->isString() && k->asString() == value)
+            return &item;
+    }
+    return nullptr;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+ReportDiff
+diffReports(const Json &a, const Json &b, const DiffOptions &opts)
+{
+    ReportDiff diff;
+    const Json::Array &exps_a = experimentsOf(a, "baseline");
+    const Json::Array &exps_b = experimentsOf(b, "current");
+
+    const auto note_structural = [&](std::string text) {
+        diff.structural.push_back(std::move(text));
+    };
+
+    for (const Json &eb : exps_b) {
+        const std::string name = eb.at("name").asString();
+        if (!findByKey(exps_a, "name", name))
+            note_structural("experiment " + name +
+                            " only in current");
+    }
+
+    for (const Json &ea : exps_a) {
+        const std::string exp_name = ea.at("name").asString();
+        const Json *eb = findByKey(exps_b, "name", exp_name);
+        if (!eb) {
+            note_structural("experiment " + exp_name +
+                            " only in baseline");
+            continue;
+        }
+        const Json *det = ea.find("deterministic");
+        const bool deterministic =
+            !det || !det->isBool() || det->asBool();
+
+        const Json::Array &runs_a = ea.at("runs").asArray();
+        const Json::Array &runs_b = eb->at("runs").asArray();
+        for (const Json &rb : runs_b) {
+            const std::string id = rb.at("id").asString();
+            if (!findByKey(runs_a, "id", id))
+                note_structural("run " + exp_name + "/" + id +
+                                " only in current");
+        }
+        for (const Json &ra : runs_a) {
+            const std::string run_id = ra.at("id").asString();
+            const Json *rb = findByKey(runs_b, "id", run_id);
+            if (!rb) {
+                note_structural("run " + exp_name + "/" + run_id +
+                                " only in baseline");
+                continue;
+            }
+            const bool failed_a = ra.find("failed") != nullptr;
+            const bool failed_b = rb->find("failed") != nullptr;
+            if (failed_a != failed_b) {
+                note_structural(
+                    "run " + exp_name + "/" + run_id +
+                    (failed_b ? " fails in current"
+                              : " fails in baseline only"));
+                continue;
+            }
+            const Json &ma = ra.at("metrics");
+            const Json &mb = rb->at("metrics");
+            if (!ma.isObject() || !mb.isObject())
+                continue;
+            for (const Json::Member &metric : mb.asObject()) {
+                if (!ma.find(metric.first))
+                    note_structural("metric " + exp_name + "/" +
+                                    run_id + "/" + metric.first +
+                                    " only in current");
+            }
+            for (const Json::Member &metric : ma.asObject()) {
+                const std::string &key = metric.first;
+                const Json *vb = mb.find(key);
+                if (!vb) {
+                    note_structural("metric " + exp_name + "/" +
+                                    run_id + "/" + key +
+                                    " only in baseline");
+                    continue;
+                }
+                ++diff.compared;
+                if (metric.second.isNumber() && vb->isNumber()) {
+                    const double va = metric.second.asDouble();
+                    const double vb_d = vb->asDouble();
+                    if (va == vb_d)
+                        continue;
+                    MetricDelta delta;
+                    delta.experiment = exp_name;
+                    delta.run = run_id;
+                    delta.metric = key;
+                    delta.before = va;
+                    delta.after = vb_d;
+                    delta.relDelta =
+                        (vb_d - va) /
+                        std::max(std::fabs(va), 1e-300);
+                    delta.deterministic = deterministic;
+                    delta.regression =
+                        deterministic &&
+                        std::fabs(delta.relDelta) >
+                            opts.tolerance;
+                    if (delta.regression)
+                        ++diff.regressions;
+                    diff.changed.push_back(std::move(delta));
+                } else if (!(metric.second == *vb)) {
+                    // Non-numeric flip (bool / string): no
+                    // tolerance applies.
+                    note_structural(
+                        "metric " + exp_name + "/" + run_id +
+                        "/" + key + " changed: " +
+                        metric.second.dump() + " -> " +
+                        vb->dump());
+                }
+            }
+        }
+    }
+    return diff;
+}
+
+std::string
+renderDiff(const ReportDiff &diff)
+{
+    std::string out;
+    for (const std::string &s : diff.structural)
+        out += "! " + s + "\n";
+    for (const MetricDelta &d : diff.changed) {
+        char line[256];
+        std::snprintf(
+            line, sizeof line, "%c %s/%s %s: %s -> %s (%+.2f%%)%s\n",
+            d.regression ? '!' : '~', d.experiment.c_str(),
+            d.run.c_str(), d.metric.c_str(),
+            fmtDouble(d.before).c_str(), fmtDouble(d.after).c_str(),
+            100.0 * d.relDelta,
+            d.deterministic ? "" : " [non-deterministic]");
+        out += line;
+    }
+    return out;
+}
+
+} // namespace sf::exp

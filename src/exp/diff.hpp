@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Report diffing for the perf trajectory: compare two
+ * sf-exp-report-v1 documents run by run, metric by metric, with a
+ * relative tolerance gate — `sfx diff baseline.json current.json`
+ * exits nonzero when a deterministic metric moved beyond the
+ * tolerance (or when runs/experiments appeared or vanished), so CI
+ * can pin every BENCH_*.json against a committed baseline.
+ *
+ * Experiments marked non-deterministic in the report (wall-clock
+ * microbenchmarks) are compared informationally but never gate:
+ * their numbers legitimately differ across machines and runs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/json.hpp"
+
+namespace sf::exp {
+
+/** Diff knobs. */
+struct DiffOptions {
+    /**
+     * Maximum accepted relative change of a deterministic numeric
+     * metric, e.g. 0.05 = 5%. The default demands byte-equal
+     * values.
+     */
+    double tolerance = 0.0;
+};
+
+/** One metric whose value differs between the two reports. */
+struct MetricDelta {
+    std::string experiment;
+    std::string run;
+    std::string metric;
+    double before = 0.0;
+    double after = 0.0;
+    /** (after - before) / max(|before|, tiny). */
+    double relDelta = 0.0;
+    /** From an experiment the determinism contract covers? */
+    bool deterministic = true;
+    /** Deterministic and beyond tolerance (drives the exit code). */
+    bool regression = false;
+};
+
+/** Outcome of diffing two reports. */
+struct ReportDiff {
+    /** Numeric metrics that moved, report order. */
+    std::vector<MetricDelta> changed;
+    /**
+     * Structural mismatches ("experiment fig10_saturation only in
+     * baseline", "run a/b only in current", non-numeric metric
+     * flips, schema problems). Always gate.
+     */
+    std::vector<std::string> structural;
+    /** Metric values compared (including equal ones). */
+    std::size_t compared = 0;
+    /** Deterministic regressions beyond tolerance. */
+    std::size_t regressions = 0;
+
+    /** True when nothing gates: CI may pass. */
+    bool clean() const
+    {
+        return regressions == 0 && structural.empty();
+    }
+};
+
+/**
+ * Compare two parsed reports. @p a is the baseline, @p b the
+ * candidate. Throws JsonError when either document does not look
+ * like an sf-exp-report-v1.
+ */
+ReportDiff diffReports(const Json &a, const Json &b,
+                       const DiffOptions &opts = {});
+
+/** Human-readable rendering (empty string when identical). */
+std::string renderDiff(const ReportDiff &diff);
+
+} // namespace sf::exp

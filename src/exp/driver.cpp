@@ -2,15 +2,18 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "exp/diff.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/scheduler.hpp"
+#include "topos/factory.hpp"
 
 namespace sf::exp {
 
@@ -26,6 +29,7 @@ struct CliOptions {
     bool timing = false;
     bool listRuns = false;
     bool quiet = false;
+    bool noTopoCache = false;
     /** --help was handled: exit 0, not a usage error. */
     bool helpShown = false;
 };
@@ -39,6 +43,7 @@ printUsage(std::FILE *to)
         "  sfx list                       list registered "
         "experiments\n"
         "  sfx run <name|glob>...         run experiments\n"
+        "  sfx diff <base.json> <new.json>  compare two reports\n"
         "\n"
         "run options:\n"
         "  --jobs N      worker threads (default: all cores)\n"
@@ -51,7 +56,14 @@ printUsage(std::FILE *to)
         "  --timing      include wall-clock metadata in the "
         "report\n"
         "  --list-runs   print the planned run grid and exit\n"
-        "  --quiet       suppress tables, print a summary only\n",
+        "  --quiet       suppress tables, print a summary only\n"
+        "  --no-topo-cache  rebuild topologies per run (identical "
+        "results)\n"
+        "\n"
+        "diff options:\n"
+        "  --tolerance F  accept relative metric drift up to F "
+        "(e.g. 0.05);\n"
+        "                 exits 1 on regressions beyond it\n",
         static_cast<unsigned long long>(kBaseSeed));
 }
 
@@ -121,6 +133,8 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             opts.runFilter = v;
         } else if (arg == "--timing") {
             opts.timing = true;
+        } else if (arg == "--no-topo-cache") {
+            opts.noTopoCache = true;
         } else if (arg == "--list-runs") {
             opts.listRuns = true;
         } else if (arg == "--quiet" || arg == "-q") {
@@ -201,6 +215,8 @@ doRun(const CliOptions &opts)
         return 0;
     }
 
+    topos::setTopologyCacheEnabled(!opts.noTopoCache);
+
     SchedulerOptions sched;
     sched.jobs = opts.jobs;
     sched.effort = opts.effort;
@@ -222,7 +238,7 @@ doRun(const CliOptions &opts)
                         std::string(effortName(opts.effort))
                             .c_str(),
                         runs.size(),
-                        effectiveJobs(sched, runs.size()));
+                        poolJobs(sched, runs.size()));
             std::fflush(stdout);
         }
         ExperimentResults results;
@@ -266,6 +282,18 @@ doRun(const CliOptions &opts)
     std::printf("%zu experiment(s), %zu run(s) in %.1f ms%s\n",
                 all.size(), total_runs, suite_ms,
                 any_failed ? " — FAILURES above" : "");
+    if (!opts.quiet && !opts.noTopoCache) {
+        const auto cache = topos::topologyCache().stats();
+        if (cache.hits + cache.misses > 0)
+            std::printf("topology cache: %llu hits, %llu builds"
+                        ", %llu evictions\n",
+                        static_cast<unsigned long long>(
+                            cache.hits),
+                        static_cast<unsigned long long>(
+                            cache.misses),
+                        static_cast<unsigned long long>(
+                            cache.evictions));
+    }
 
     if (!opts.outPath.empty()) {
         ReportOptions ropts;
@@ -285,6 +313,64 @@ doRun(const CliOptions &opts)
     return any_failed ? 1 : 0;
 }
 
+int
+doDiff(int argc, char **argv)
+{
+    DiffOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--tolerance" || arg == "-t") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "sfx: --tolerance needs a value\n");
+                return 2;
+            }
+            char *end = nullptr;
+            opts.tolerance = std::strtod(argv[++i], &end);
+            // isfinite also rejects NaN, which would otherwise
+            // disable the gate (every comparison false).
+            if (end == argv[i] || *end != '\0' ||
+                !std::isfinite(opts.tolerance) ||
+                opts.tolerance < 0.0) {
+                std::fprintf(stderr,
+                             "sfx: --tolerance needs a "
+                             "non-negative number, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sfx: unknown option: %s\n",
+                         argv[i]);
+            return 2;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "sfx: diff needs exactly two report files\n");
+        return 2;
+    }
+    try {
+        const Json base = Json::parse(readFile(paths[0]));
+        const Json current = Json::parse(readFile(paths[1]));
+        const ReportDiff diff = diffReports(base, current, opts);
+        std::fputs(renderDiff(diff).c_str(), stdout);
+        std::printf("%zu metric(s) compared, %zu changed, %zu "
+                    "regression(s), %zu structural issue(s)\n",
+                    diff.compared, diff.changed.size(),
+                    diff.regressions, diff.structural.size());
+        return diff.clean() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfx: %s\n", e.what());
+        return 2;
+    }
+}
+
 } // namespace
 
 int
@@ -297,6 +383,8 @@ sfxMain(int argc, char **argv)
     const std::string_view command = argv[1];
     if (command == "list")
         return doList();
+    if (command == "diff")
+        return doDiff(argc, argv);
     if (command == "run") {
         CliOptions opts;
         if (!parseRunOptions(argc, argv, 2, opts, true))

@@ -5,10 +5,12 @@
  *
  *   sfx list                          — registry contents
  *   sfx run <name|glob>... [options]  — plan, schedule, report
+ *   sfx diff <base.json> <new.json>   — per-run metric deltas,
+ *                                       tolerance-gated exit code
  *
  * Options: --jobs N, --out FILE, --effort quick|default|full
  * (plus the legacy --quick/--full spellings), --seed S, --timing,
- * --list-runs, --quiet.
+ * --list-runs, --quiet, --no-topo-cache; diff takes --tolerance F.
  *
  * A bench wrapper is the same driver pinned to one glob:
  * benchMain("fig10_saturation", argc, argv).

@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/string_figure.hpp"
@@ -22,6 +23,7 @@
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "topos/factory.hpp"
 
 namespace sf::exp {
 
@@ -64,7 +66,9 @@ adaptiveSpec()
                 run.params.set("nodes", n);
                 run.body = [pattern, adaptive,
                             n](const RunContext &rc) -> Json {
-                    const core::StringFigure topo(
+                    // Adaptivity is a simulator knob, so both arms
+                    // share the same immutable topology.
+                    const auto topo = topos::cachedTopology(
                         sfParams(n, rc.baseSeed));
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
@@ -72,8 +76,9 @@ adaptiveSpec()
                     Json m = Json::object();
                     m.set("saturation_rate",
                           sim::findSaturationRate(
-                              topo, pattern, cfg,
-                              sim::RunPhases::saturationProbe(), 0.12));
+                              *topo, pattern, cfg,
+                              sim::RunPhases::saturationProbe(),
+                              0.12, rc.executor));
                     return m;
                 };
                 runs.push_back(std::move(run));
@@ -108,9 +113,9 @@ balanceSpec()
             run.body = [mode, n](const RunContext &rc) -> Json {
                 core::SFParams params = sfParams(n, rc.baseSeed);
                 params.coordMode = mode;
-                const core::StringFigure topo(params);
+                const auto topo = topos::cachedTopology(params);
                 const auto stats =
-                    net::allPairsStats(topo.graph());
+                    net::allPairsStats(topo->graph());
                 sim::SimConfig cfg;
                 cfg.seed = rc.seed;
                 Json m = Json::object();
@@ -119,9 +124,10 @@ balanceSpec()
                                       stats.diameter));
                 m.set("saturation_uniform",
                       sim::findSaturationRate(
-                          topo,
+                          *topo,
                           sim::TrafficPattern::UniformRandom,
-                          cfg, sim::RunPhases::saturationProbe(), 0.12));
+                          cfg, sim::RunPhases::saturationProbe(),
+                          0.12, rc.executor));
                 return m;
             };
             runs.push_back(std::move(run));
@@ -159,16 +165,19 @@ twoHopSpec()
                     core::SFParams params =
                         sfParams(n, rc.baseSeed);
                     params.twoHopTable = two_hop;
-                    const core::StringFigure topo(params);
+                    const auto shared =
+                        topos::cachedTopology(params);
+                    const auto topo = std::dynamic_pointer_cast<
+                        const core::StringFigure>(shared);
                     Rng rng(rc.seed);
                     const auto probe = net::probeRoutedHops(
-                        topo, rng, samples);
+                        *topo, rng, samples);
                     // A one-hop-only router needs only the
                     // one-hop rows.
                     std::size_t max_entries = 0;
                     for (NodeId u = 0; u < n; ++u) {
                         std::size_t entries = 0;
-                        for (const auto &e : topo.tables()
+                        for (const auto &e : topo->tables()
                                                  .table(u)
                                                  .entries())
                             entries +=
@@ -213,6 +222,9 @@ coordBitsSpec()
                     sfParams(256, rc.baseSeed);
                 params.routerPorts = 8;
                 params.coordBits = bits;
+                // Private instance: the metric below reads the
+                // accumulating fallback counter, which a shared
+                // cached topology would carry across runs.
                 const core::StringFigure topo(params);
                 Rng rng(rc.seed);
                 const auto probe =
@@ -263,19 +275,22 @@ unidirSpec()
                     core::SFParams params =
                         sfParams(n, rc.baseSeed);
                     params.linkMode = mode;
-                    const core::StringFigure topo(params);
+                    const auto topo =
+                        topos::cachedTopology(params);
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
                     Json m = Json::object();
                     m.set("avg_hops",
-                          net::allPairsStats(topo.graph())
+                          net::allPairsStats(topo->graph())
                               .average);
                     m.set("saturation_rate",
                           sim::findSaturationRate(
-                              topo,
+                              *topo,
                               sim::TrafficPattern::
                                   UniformRandom,
-                              cfg, sim::RunPhases::saturationProbe(), 0.12));
+                              cfg,
+                              sim::RunPhases::saturationProbe(),
+                              0.12, rc.executor));
                     return m;
                 };
                 runs.push_back(std::move(run));

@@ -7,12 +7,16 @@
  *
  * Replaces the old google-benchmark harness with steady_clock
  * timing loops so the experiment rides the same registry, CLI, and
- * report as everything else. Timing metrics are inherently
- * machine-dependent, so the spec is marked non-deterministic and
- * excluded from byte-identical report checks.
+ * report as everything else; like google-benchmark's repetitions,
+ * every run repeats its timing loop and reports min / mean /
+ * stddev, so scheduling jitter is visible instead of folded into a
+ * single mean. Timing metrics are inherently machine-dependent, so
+ * the spec is marked non-deterministic and excluded from
+ * byte-identical report checks.
  */
 
 #include <chrono>
+#include <cmath>
 #include <vector>
 
 #include "core/string_figure.hpp"
@@ -66,6 +70,53 @@ nsPerIteration(Op &&op, double budget_ms)
     return ns / static_cast<double>(iterations);
 }
 
+/** min / mean / population stddev over timing repetitions. */
+struct TimingStats {
+    double min = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/**
+ * Repeat the @p budget_ms timing loop @p reps times (what the old
+ * google-benchmark harness did with --benchmark_repetitions) so a
+ * run reports scheduling noise instead of hiding it: min is the
+ * least-disturbed estimate, stddev the jitter.
+ */
+template <typename Op>
+TimingStats
+timedReps(Op &&op, int reps, double budget_ms)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r)
+        samples.push_back(nsPerIteration(op, budget_ms));
+    TimingStats stats;
+    stats.min = samples[0];
+    for (const double s : samples) {
+        stats.min = std::min(stats.min, s);
+        stats.mean += s;
+    }
+    stats.mean /= static_cast<double>(samples.size());
+    double var = 0.0;
+    for (const double s : samples)
+        var += (s - stats.mean) * (s - stats.mean);
+    stats.stddev =
+        std::sqrt(var / static_cast<double>(samples.size()));
+    return stats;
+}
+
+/** Emit "<key>_min/_mean/_stddev", scaled by @p scale. */
+void
+setTimingMetrics(Json &m, const char *key,
+                 const TimingStats &stats, double scale = 1.0)
+{
+    const std::string base(key);
+    m.set(base + "_min", stats.min * scale);
+    m.set(base + "_mean", stats.mean * scale);
+    m.set(base + "_stddev", stats.stddev * scale);
+}
+
 ExperimentSpec
 microSpec()
 {
@@ -76,7 +127,8 @@ microSpec()
                  "microbenchmarks (wall-clock; non-deterministic)";
     spec.deterministic = false;
     spec.plan = [](const PlanContext &ctx) {
-        const double budget_ms = pick(ctx.effort, 20.0, 80.0, 300.0);
+        const double budget_ms = pick(ctx.effort, 10.0, 40.0, 120.0);
+        const int reps = pick(ctx.effort, 3, 5, 8);
         std::vector<RunSpec> runs;
 
         const auto add_decision =
@@ -85,13 +137,14 @@ microSpec()
                 run.id = fmt("%s/n%zu", which, n);
                 run.params.set("op", which);
                 run.params.set("nodes", n);
-                run.body = [n, widen, budget_ms](
+                run.params.set("reps", reps);
+                run.body = [n, widen, budget_ms, reps](
                                const RunContext &rc) -> Json {
                     const core::StringFigure topo(
                         paramsFor(n, rc.baseSeed));
                     Rng rng(rc.seed);
                     std::vector<LinkId> out;
-                    const double ns = nsPerIteration(
+                    const auto stats = timedReps(
                         [&] {
                             const auto s = static_cast<NodeId>(
                                 rng.below(n));
@@ -103,9 +156,10 @@ microSpec()
                             topo.routeCandidates(s, t, widen,
                                                  out);
                         },
-                        budget_ms);
+                        reps, budget_ms);
                     Json m = Json::object();
-                    m.set("ns_per_decision", ns);
+                    setTimingMetrics(m, "ns_per_decision",
+                                     stats);
                     m.set("table_entries_max",
                           topo.tables().maxEntriesSeen());
                     return m;
@@ -122,13 +176,14 @@ microSpec()
             run.id = fmt("routed_walk/n%zu", n);
             run.params.set("op", "routed_walk");
             run.params.set("nodes", n);
-            run.body = [n, budget_ms](const RunContext &rc)
-                -> Json {
+            run.params.set("reps", reps);
+            run.body = [n, budget_ms,
+                        reps](const RunContext &rc) -> Json {
                 const core::StringFigure topo(
                     paramsFor(n, rc.baseSeed));
                 Rng rng(rc.seed);
                 long long sink = 0;
-                const double ns = nsPerIteration(
+                const auto stats = timedReps(
                     [&] {
                         const auto s =
                             static_cast<NodeId>(rng.below(n));
@@ -138,9 +193,9 @@ microSpec()
                             return;
                         sink += net::routedHops(topo, s, t);
                     },
-                    budget_ms);
+                    reps, budget_ms);
                 Json m = Json::object();
-                m.set("ns_per_walk", ns);
+                setTimingMetrics(m, "ns_per_walk", stats);
                 m.set("checksum", sink >= 0);
                 return m;
             };
@@ -152,20 +207,26 @@ microSpec()
             run.id = fmt("topology_build/n%zu", n);
             run.params.set("op", "topology_build");
             run.params.set("nodes", n);
-            run.body = [n, budget_ms](const RunContext &rc)
-                -> Json {
+            run.params.set("reps", reps);
+            run.body = [n, budget_ms,
+                        reps](const RunContext &rc) -> Json {
                 std::size_t links = 0;
-                const double ns = nsPerIteration(
+                const auto stats = timedReps(
                     [&] {
-                        const auto data = core::buildTopology(
+                        // The deployed-network build: wire
+                        // construction, routing tables, and the
+                        // reconfiguration engine.
+                        const auto topo = core::buildTopology(
                             paramsFor(n, rc.baseSeed));
-                        links = data.graph.numLinks();
+                        links = topo->graph().numLinks();
                     },
+                    reps,
                     // Construction is ms-scale; one batch is
                     // enough at quick effort.
                     budget_ms * 10.0);
                 Json m = Json::object();
-                m.set("ms_per_build", ns / 1e6);
+                setTimingMetrics(m, "ms_per_build", stats,
+                                 1.0 / 1e6);
                 m.set("links", links);
                 return m;
             };
@@ -177,12 +238,14 @@ microSpec()
             run.id = fmt("reconfig_round_trip/n%zu", n);
             run.params.set("op", "reconfig_round_trip");
             run.params.set("nodes", n);
-            run.body = [n, budget_ms](const RunContext &rc)
-                -> Json {
+            run.params.set("reps", reps);
+            run.body = [n, budget_ms,
+                        reps](const RunContext &rc) -> Json {
+                // Private instance: gating mutates the topology.
                 core::StringFigure topo(
                     paramsFor(n, rc.baseSeed));
                 Rng rng(rc.seed);
-                const double ns = nsPerIteration(
+                const auto stats = timedReps(
                     [&] {
                         const auto u =
                             static_cast<NodeId>(rng.below(n));
@@ -191,9 +254,10 @@ microSpec()
                         topo.gate(u);
                         topo.ungate(u);
                     },
-                    budget_ms);
+                    reps, budget_ms);
                 Json m = Json::object();
-                m.set("us_per_round_trip", ns / 1e3);
+                setTimingMetrics(m, "us_per_round_trip", stats,
+                                 1.0 / 1e3);
                 m.set("table_rebuilds",
                       topo.reconfig().stats().tableRebuilds);
                 return m;

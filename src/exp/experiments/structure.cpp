@@ -128,7 +128,7 @@ fig09aSpec()
                     // compares hop structure, not bandwidth.
                     const int odm_mult =
                         kind == topos::TopoKind::ODM ? 1 : 0;
-                    const auto topo = topos::makeTopology(
+                    const auto topo = topos::cachedTopology(
                         kind, n, rc.baseSeed, odm_mult);
                     Rng rng(rc.seed);
                     // All pairs when small; sampled beyond.
@@ -191,9 +191,9 @@ table2Spec()
             run.id = kname;
             run.params.set("design", kname);
             run.body = [kind](const RunContext &rc) -> Json {
-                const auto small = topos::makeTopology(
+                const auto small = topos::cachedTopology(
                     kind, 256, rc.baseSeed, 2);
-                const auto large = topos::makeTopology(
+                const auto large = topos::cachedTopology(
                     kind, 1024, rc.baseSeed, 2);
                 const auto f = small->features();
                 Json m = Json::object();
@@ -248,10 +248,18 @@ bisectionSpec()
                                const RunContext &rc) -> Json {
                     double sum = 0.0;
                     for (int i = 0; i < reps; ++i) {
-                        const auto topo = topos::makeTopology(
-                            kind, n,
-                            rc.baseSeed +
-                                static_cast<unsigned>(i));
+                        // Only the base-seed instance is shared
+                        // with the other sweeps; the extra
+                        // seed-varied instances are single-use
+                        // and would just flood the cache.
+                        const auto topo =
+                            i == 0 ? topos::cachedTopology(
+                                         kind, n, rc.baseSeed)
+                                   : topos::makeTopology(
+                                         kind, n,
+                                         rc.baseSeed +
+                                             static_cast<unsigned>(
+                                                 i));
                         Rng rng(rc.baseSeed * 31 +
                                 static_cast<unsigned>(i));
                         sum += static_cast<double>(

@@ -5,6 +5,11 @@
  * and Fig 11 (latency-vs-injection-rate curves). These are the
  * heavyweight sweeps the thread-pool scheduler exists for: every
  * grid cell is one independent simulation.
+ *
+ * Both sweeps route over shared immutable topologies from the
+ * process-wide cache (one build per design/scale, not per cell),
+ * and the Fig 10 saturation searches fan their candidate probe
+ * rates out on the scheduler's work pool via rc.executor.
  */
 
 #include <vector>
@@ -68,7 +73,7 @@ fig10Spec()
                     run.params.set("design", kname);
                     run.body = [pattern, n, kind, tolerance](
                                    const RunContext &rc) -> Json {
-                        const auto topo = topos::makeTopology(
+                        const auto topo = topos::cachedTopology(
                             kind, n, rc.baseSeed);
                         const sim::SimConfig cfg =
                             simConfigFor(rc);
@@ -77,7 +82,7 @@ fig10Spec()
                                 *topo, pattern, cfg,
                                 sim::RunPhases::
                                     saturationProbe(),
-                                tolerance);
+                                tolerance, rc.executor);
                         Json m = Json::object();
                         m.set("saturation_rate", sat);
                         m.set("saturation_pct", 100.0 * sat);
@@ -136,8 +141,10 @@ fig11Spec()
                         run.body = [n, pattern, kind, rate](
                                        const RunContext &rc)
                             -> Json {
+                            // Shared: every rate point of every
+                            // pattern rides one immutable build.
                             const auto topo =
-                                topos::makeTopology(
+                                topos::cachedTopology(
                                     kind, n, rc.baseSeed);
                             const sim::SimConfig cfg =
                                 simConfigFor(rc);

@@ -59,11 +59,13 @@ fig12Spec()
                 run.body = [w, kind, n,
                             ops](const RunContext &rc) -> Json {
                     // Memoised: all five designs replay the
-                    // identical trace.
+                    // identical trace, and every workload of one
+                    // design replays over one shared topology
+                    // (replay never mutates it).
                     const auto trace =
                         wl::sharedTrace(w, rc.baseSeed, ops);
-                    auto topo = topos::makeTopology(kind, n,
-                                                    rc.baseSeed);
+                    const auto topo = topos::cachedTopology(
+                        kind, n, rc.baseSeed);
                     sim::SimConfig sim_cfg;
                     sim_cfg.seed = rc.seed;
                     wl::ReplayConfig cfg;
@@ -135,6 +137,9 @@ fig09bSpec()
                         params.numNodes = n;
                         params.routerPorts = 8;
                         params.seed = rc.baseSeed;
+                        // Private instance: gating mutates the
+                        // topology, so it must not come from the
+                        // shared cache.
                         core::StringFigure topo(params);
                         sim::SimConfig sim_cfg;
                         sim_cfg.seed = rc.seed;

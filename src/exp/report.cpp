@@ -136,4 +136,23 @@ writeFile(const std::string &path, const std::string &text)
         throw std::runtime_error("short write: " + path);
 }
 
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("cannot open for reading: " +
+                                 path);
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0)
+        text.append(buffer, got);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        throw std::runtime_error("read error: " + path);
+    return text;
+}
+
 } // namespace sf::exp

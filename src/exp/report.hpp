@@ -58,4 +58,7 @@ std::string renderTable(const ExperimentResults &results);
 /** Write @p text to @p path (0644); throws std::runtime_error. */
 void writeFile(const std::string &path, const std::string &text);
 
+/** Read @p path entirely; throws std::runtime_error. */
+std::string readFile(const std::string &path);
+
 } // namespace sf::exp

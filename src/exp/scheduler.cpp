@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "exp/work_pool.hpp"
+
 namespace sf::exp {
 
 int
@@ -21,6 +23,12 @@ effectiveJobs(const SchedulerOptions &opts, std::size_t n)
     return jobs;
 }
 
+int
+poolJobs(const SchedulerOptions &opts, std::size_t n)
+{
+    return effectiveJobs(opts, n * 8);
+}
+
 std::vector<RunResult>
 runExperiment(const ExperimentSpec &exp,
               const std::vector<RunSpec> &runs,
@@ -30,17 +38,18 @@ runExperiment(const ExperimentSpec &exp,
     if (runs.empty())
         return results;
 
-    const int jobs = effectiveJobs(opts, runs.size());
-    std::atomic<std::size_t> next{0};
+    // One pool serves the whole sweep: run bodies are its top-level
+    // tasks, and a body's nested batches (saturation probes) ride
+    // the same workers, so idle capacity at the sweep tail drains
+    // the long-running stragglers instead of sitting out.
+    WorkPool pool(poolJobs(opts, runs.size()));
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
 
-    const auto worker = [&] {
-        while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= runs.size())
-                return;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        tasks.push_back([&, i] {
             const RunSpec &run = runs[i];
             RunResult &result = results[i];
             result.id = run.id;
@@ -49,9 +58,9 @@ runExperiment(const ExperimentSpec &exp,
             ctx.seed = deriveSeed(exp.name, run.id, opts.baseSeed);
             ctx.baseSeed = opts.baseSeed;
             ctx.effort = opts.effort;
+            ctx.executor = &pool;
             result.seed = ctx.seed;
-            const auto start =
-                std::chrono::steady_clock::now();
+            const auto start = std::chrono::steady_clock::now();
             try {
                 result.metrics = run.body(ctx);
             } catch (const std::exception &e) {
@@ -72,19 +81,9 @@ runExperiment(const ExperimentSpec &exp,
                     progress_mutex);
                 opts.onRunDone(completed, runs.size(), result);
             }
-        }
-    };
-
-    if (jobs == 1) {
-        worker();
-        return results;
+        });
     }
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int t = 0; t < jobs; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    pool.runAll(tasks);
     return results;
 }
 

@@ -1,9 +1,14 @@
 /**
  * @file
- * Thread-pool scheduler fanning independent experiment runs out
- * across cores. Results land at their plan index regardless of
- * completion order, and per-run seeds derive from stable names, so
- * any job count produces the identical result vector.
+ * Scheduler fanning independent experiment runs out across cores.
+ * Results land at their plan index regardless of completion order,
+ * and per-run seeds derive from stable names, so any job count
+ * produces the identical result vector.
+ *
+ * The threads live in a WorkPool (work_pool.hpp) rather than in
+ * the scheduler privately: each run body receives the pool as the
+ * sim::Executor in its RunContext and may submit nested batches
+ * (e.g. concurrent saturation probes), which idle workers execute.
  */
 
 #pragma once
@@ -47,6 +52,14 @@ struct SchedulerOptions {
 
 /** Resolve the effective worker count for @p opts over @p n runs. */
 int effectiveJobs(const SchedulerOptions &opts, std::size_t n);
+
+/**
+ * Total work-pool parallelism for @p n runs: not clamped to the
+ * run count, because surplus workers serve nested batches (up to 8
+ * saturation probes per run), but never more than requested /
+ * available.
+ */
+int poolJobs(const SchedulerOptions &opts, std::size_t n);
 
 /**
  * Execute every run of @p exp (already planned as @p runs) and

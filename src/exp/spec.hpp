@@ -23,6 +23,10 @@
 
 #include "exp/json.hpp"
 
+namespace sf::sim {
+class Executor;
+}
+
 namespace sf::exp {
 
 /** Effort level of a whole invocation (old --quick/--full flags). */
@@ -61,6 +65,15 @@ struct RunContext {
      */
     std::uint64_t baseSeed = kBaseSeed;
     Effort effort = Effort::Default;
+    /**
+     * The scheduler's work pool, for nested parallelism inside a
+     * run (e.g. concurrent saturation probes). Never null while a
+     * body runs; idle-capacity aware, so nested fan-out only uses
+     * workers that would otherwise sit out the sweep tail. Bodies
+     * must not let determinism depend on it: anything submitted
+     * must be a pure function of the run's own inputs.
+     */
+    sim::Executor *executor = nullptr;
 };
 
 /** One independent unit of work inside an experiment. */

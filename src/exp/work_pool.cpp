@@ -1,0 +1,138 @@
+#include "exp/work_pool.hpp"
+
+#include <algorithm>
+
+namespace sf::exp {
+
+WorkPool::WorkPool(int parallelism)
+    : parallelism_(std::max(1, parallelism))
+{
+    workers_.reserve(static_cast<std::size_t>(parallelism_ - 1));
+    for (int i = 1; i < parallelism_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkPool::~WorkPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+int
+WorkPool::availableParallelism() const
+{
+    return 1 + std::max(0, idleWorkers_.load(
+                               std::memory_order_relaxed));
+}
+
+void
+WorkPool::runAll(std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+    if (tasks.size() == 1 || workers_.empty()) {
+        // The serial executor implements the same
+        // drain-then-rethrow contract inline.
+        sim::serialExecutor().runAll(tasks);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->size = tasks.size();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        active_.push_back(batch);
+    }
+    workAvailable_.notify_all();
+
+    // The caller executes its own batch too: a fully busy pool
+    // degrades to inline execution instead of queueing behind
+    // other batches.
+    while (runOneTask(batch)) {
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        batchDone_.wait(lock, [&] {
+            return batch->done.load(std::memory_order_acquire) ==
+                   tasks.size();
+        });
+        std::erase(active_, batch);
+    }
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+bool
+WorkPool::runOneTask(const std::shared_ptr<Batch> &batch)
+{
+    const std::size_t size = batch->size;
+    const std::size_t i =
+        batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size)
+        return false;
+    // Claiming i < size keeps the task vector alive: the submitter
+    // blocks in runAll() until done == size, which cannot happen
+    // before this task finishes.
+    try {
+        (*batch->tasks)[i]();
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(batch->errorMutex);
+        if (!batch->error)
+            batch->error = std::current_exception();
+    }
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        size) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        batchDone_.notify_all();
+    }
+    return true;
+}
+
+void
+WorkPool::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (true) {
+                if (stopping_)
+                    return;
+                // Prune exhausted batches; their waiters hold
+                // their own shared_ptr. Only the copied size is
+                // consulted — the task vector may be gone.
+                std::erase_if(active_, [](const auto &b) {
+                    return b->next.load(
+                               std::memory_order_relaxed) >=
+                           b->size;
+                });
+                for (const auto &candidate : active_) {
+                    if (candidate->next.load(
+                            std::memory_order_relaxed) <
+                        candidate->size) {
+                        batch = candidate;
+                        break;
+                    }
+                }
+                if (batch)
+                    break;
+                idleWorkers_.fetch_add(
+                    1, std::memory_order_relaxed);
+                workAvailable_.wait(lock);
+                idleWorkers_.fetch_sub(
+                    1, std::memory_order_relaxed);
+            }
+        }
+        while (runOneTask(batch)) {
+        }
+    }
+}
+
+} // namespace sf::exp

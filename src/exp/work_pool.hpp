@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The experiment engine's shared worker pool.
+ *
+ * Extracted from the scheduler (which used to own its threads
+ * privately) so that nested work can ride the same threads: the
+ * scheduler submits whole run bodies as one batch, and a body —
+ * via sim::Executor in its RunContext — submits its own nested
+ * batches (e.g. the saturation search's concurrent probe rates).
+ * Idle workers then execute nested tasks of long-running runs,
+ * which is what shortens the sweep-tail critical path.
+ *
+ * Batch semantics (runAll):
+ *  - The calling thread participates: it claims and executes tasks
+ *    of its own batch, so a pool with zero workers degrades to
+ *    inline serial execution.
+ *  - Workers claim tasks from any active batch in submission
+ *    order.
+ *  - Nested runAll() from inside a task cannot deadlock: the
+ *    nested caller executes its own tasks, and blocked waiting
+ *    happens only for tasks another thread is actively running.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/executor.hpp"
+
+namespace sf::exp {
+
+/** Work-sharing thread pool implementing sim::Executor. */
+class WorkPool final : public sim::Executor {
+  public:
+    /**
+     * @param parallelism Total concurrent executors, including the
+     *        thread that calls runAll(); the pool spawns
+     *        parallelism - 1 workers. 1 (or less) means fully
+     *        inline execution with no threads.
+     */
+    explicit WorkPool(int parallelism);
+    ~WorkPool() override;
+
+    WorkPool(const WorkPool &) = delete;
+    WorkPool &operator=(const WorkPool &) = delete;
+
+    /** Configured total parallelism (workers + caller). */
+    int parallelism() const { return parallelism_; }
+
+    int availableParallelism() const override;
+
+    void runAll(std::vector<std::function<void()>> &tasks) override;
+
+  private:
+    struct Batch {
+        /**
+         * The submitter's task vector. Valid only while the batch
+         * is incomplete: the submitter returns from runAll() (and
+         * may destroy the vector) once done == size, so helpers
+         * must never dereference it after failing to claim an
+         * index — they use the copied size instead.
+         */
+        std::vector<std::function<void()>> *tasks = nullptr;
+        std::size_t size = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex errorMutex;
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+
+    /** Claim-and-run one task of @p batch. False when exhausted. */
+    bool runOneTask(const std::shared_ptr<Batch> &batch);
+
+    int parallelism_ = 1;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable batchDone_;
+    std::vector<std::shared_ptr<Batch>> active_;
+    std::atomic<int> idleWorkers_{0};
+    bool stopping_ = false;
+};
+
+} // namespace sf::exp

@@ -1,0 +1,138 @@
+#include "net/topology_cache.hpp"
+
+namespace sf::net {
+
+std::size_t
+TopologyKeyHash::operator()(const TopologyKey &key) const
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    };
+    const auto mix_u64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+    };
+    for (const char c : key.kind)
+        mix_byte(static_cast<unsigned char>(c));
+    mix_u64(key.nodes);
+    mix_u64(key.seed);
+    for (const char c : key.variant)
+        mix_byte(static_cast<unsigned char>(c));
+    return static_cast<std::size_t>(h);
+}
+
+TopologyCache::TopologyCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+std::shared_ptr<const Topology>
+TopologyCache::getOrBuild(const TopologyKey &key,
+                          const Builder &build)
+{
+    std::promise<std::shared_ptr<const Topology>> promise;
+    Future future;
+    bool owner = false;
+    std::uint64_t my_gen = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++stats_.hits;
+            touch(it->second, key);
+            future = it->second.future;
+        } else {
+            ++stats_.misses;
+            owner = true;
+            my_gen = ++generation_;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            entry.generation = my_gen;
+            lru_.push_front(key);
+            entry.lruPos = lru_.begin();
+            future = entry.future;
+            map_.emplace(key, std::move(entry));
+            // The new entry sits at the LRU front, so it survives
+            // this sweep even at capacity 1.
+            evictDownTo(capacity_);
+        }
+    }
+    if (owner) {
+        // Build outside the lock: other keys stay available, and
+        // same-key requesters block only on the shared future.
+        try {
+            promise.set_value(build());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            // Drop the failed entry (if it is still ours) so a
+            // later request can retry the build.
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = map_.find(key);
+            if (it != map_.end() &&
+                it->second.generation == my_gen) {
+                lru_.erase(it->second.lruPos);
+                map_.erase(it);
+            }
+        }
+    }
+    return future.get();
+}
+
+TopologyCache::Stats
+TopologyCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+TopologyCache::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::size_t
+TopologyCache::capacity() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+TopologyCache::setCapacity(std::size_t capacity)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity ? capacity : 1;
+    evictDownTo(capacity_);
+}
+
+void
+TopologyCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evictDownTo(0);
+}
+
+void
+TopologyCache::touch(Entry &entry, const TopologyKey &key)
+{
+    lru_.erase(entry.lruPos);
+    lru_.push_front(key);
+    entry.lruPos = lru_.begin();
+}
+
+void
+TopologyCache::evictDownTo(std::size_t limit)
+{
+    while (map_.size() > limit) {
+        const TopologyKey victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+} // namespace sf::net

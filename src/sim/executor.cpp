@@ -1,0 +1,39 @@
+#include "sim/executor.hpp"
+
+#include <exception>
+
+namespace sf::sim {
+
+namespace {
+
+class SerialExecutor final : public Executor {
+  public:
+    void
+    runAll(std::vector<std::function<void()>> &tasks) override
+    {
+        // Drain the whole batch even when a task throws (the
+        // Executor contract): rethrow the first failure after.
+        std::exception_ptr error;
+        for (auto &task : tasks) {
+            try {
+                task();
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
+};
+
+} // namespace
+
+Executor &
+serialExecutor()
+{
+    static SerialExecutor instance;
+    return instance;
+}
+
+} // namespace sf::sim

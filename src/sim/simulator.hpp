@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "sim/executor.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/traffic.hpp"
@@ -78,12 +79,21 @@ double zeroLoadLatency(const net::Topology &topo,
  * Saturation injection rate in packets/node/cycle: the highest rate
  * (within @p tolerance, geometric) that is not saturated. 1.0 means
  * the network absorbs full injection bandwidth.
+ *
+ * Every probe is a pure function of its rate (the traffic RNG
+ * derives from cfg.seed alone), so when @p executor offers idle
+ * parallelism the search evaluates the probes the bisection may
+ * need next speculatively and concurrently — and still selects the
+ * exact rate the serial search would. With a null executor (or
+ * availableParallelism() == 1) the probe sequence is identical to
+ * the classic serial geometric-descent-plus-bisection.
  */
 double findSaturationRate(const net::Topology &topo,
                           TrafficPattern pattern,
                           const SimConfig &cfg,
                           const RunPhases &phases = {},
-                          double tolerance = 0.07);
+                          double tolerance = 0.07,
+                          Executor *executor = nullptr);
 
 /** Latency-vs-rate curve point. */
 struct SweepPoint {

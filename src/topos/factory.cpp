@@ -1,8 +1,10 @@
 #include "topos/factory.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/string_figure.hpp"
@@ -77,7 +79,44 @@ randomTopologyPorts(std::size_t n)
     return n <= 128 ? 4 : 8;
 }
 
-std::unique_ptr<net::Topology>
+namespace {
+
+std::atomic<bool> g_cache_enabled{true};
+
+/** Canonical cache-key encoding of every SF construction knob
+ *  except numNodes and seed (those are separate key fields). */
+std::string
+sfVariant(const core::SFParams &p)
+{
+    std::string v = "p" + std::to_string(p.routerPorts);
+    v += p.linkMode == core::LinkMode::Unidirectional ? ",uni"
+                                                      : ",bi";
+    v += p.repairMode == core::RepairMode::AllSpaces ? ",as"
+                                                     : ",so";
+    v += p.coordMode == core::CoordMode::Balanced ? ",bal"
+                                                  : ",iid";
+    v += p.buildShortcuts ? ",sc1" : ",sc0";
+    v += p.twoHopTable ? ",th1" : ",th0";
+    v += ",cb" + std::to_string(p.coordBits);
+    return v;
+}
+
+/** The factory's SF configuration: default knobs at the scale's
+ *  paper port policy. Single source for both the fresh build and
+ *  the cache key, so cache-on and cache-off stay value-identical. */
+core::SFParams
+defaultSfParams(std::size_t n, std::uint64_t seed)
+{
+    core::SFParams params;
+    params.numNodes = n;
+    params.routerPorts = randomTopologyPorts(n);
+    params.seed = seed;
+    return params;
+}
+
+} // namespace
+
+std::shared_ptr<const net::Topology>
 makeTopology(TopoKind kind, std::size_t n, std::uint64_t seed,
              int odm_multiplier)
 {
@@ -89,39 +128,96 @@ makeTopology(TopoKind kind, std::size_t n, std::uint64_t seed,
     const auto [rows, cols] = MeshTopology::gridShape(n);
     switch (kind) {
       case TopoKind::DM:
-        return std::make_unique<MeshTopology>(rows, cols, 1);
+        return std::make_shared<const MeshTopology>(rows, cols, 1);
       case TopoKind::ODM: {
         const int mult = odm_multiplier > 0
                              ? odm_multiplier
                              : matchOdmMultiplier(n, seed);
-        return std::make_unique<MeshTopology>(rows, cols, mult);
+        return std::make_shared<const MeshTopology>(rows, cols,
+                                                    mult);
       }
       case TopoKind::FB:
-        return std::make_unique<FlattenedButterfly>(rows, cols,
-                                                    false);
+        return std::make_shared<const FlattenedButterfly>(
+            rows, cols, false);
       case TopoKind::AFB:
-        return std::make_unique<FlattenedButterfly>(rows, cols,
-                                                    true);
+        return std::make_shared<const FlattenedButterfly>(
+            rows, cols, true);
       case TopoKind::S2:
-        return std::make_unique<SpaceShuffle>(
+        return std::make_shared<const SpaceShuffle>(
             n, randomTopologyPorts(n), seed);
-      case TopoKind::SF: {
-        core::SFParams params;
-        params.numNodes = n;
-        params.routerPorts = randomTopologyPorts(n);
-        params.seed = seed;
-        return std::make_unique<core::StringFigure>(params);
-      }
+      case TopoKind::SF:
+        return std::make_shared<const core::StringFigure>(
+            defaultSfParams(n, seed));
     }
     throw std::invalid_argument("unknown topology kind");
+}
+
+net::TopologyCache &
+topologyCache()
+{
+    static net::TopologyCache cache;
+    return cache;
+}
+
+void
+setTopologyCacheEnabled(bool enabled)
+{
+    g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+topologyCacheEnabled()
+{
+    return g_cache_enabled.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const net::Topology>
+cachedTopology(TopoKind kind, std::size_t n, std::uint64_t seed,
+               int odm_multiplier)
+{
+    // SF shares entries with the SFParams overload: the factory's
+    // SF configuration is just the default-knob parameter set.
+    if (kind == TopoKind::SF && supported(kind, n))
+        return cachedTopology(defaultSfParams(n, seed));
+    if (!topologyCacheEnabled())
+        return makeTopology(kind, n, seed, odm_multiplier);
+    net::TopologyKey key;
+    key.kind = kindName(kind);
+    key.nodes = n;
+    key.seed = seed;
+    if (kind == TopoKind::ODM)
+        key.variant = "odm=" + std::to_string(odm_multiplier);
+    return topologyCache().getOrBuild(key, [&] {
+        return makeTopology(kind, n, seed, odm_multiplier);
+    });
+}
+
+std::shared_ptr<const net::Topology>
+cachedTopology(const core::SFParams &params)
+{
+    const auto build = [&params] {
+        return std::shared_ptr<const net::Topology>(
+            std::make_shared<const core::StringFigure>(params));
+    };
+    if (!topologyCacheEnabled())
+        return build();
+    net::TopologyKey key;
+    key.kind = "SF";
+    key.nodes = params.numNodes;
+    key.seed = params.seed;
+    key.variant = sfVariant(params);
+    return topologyCache().getOrBuild(key, build);
 }
 
 int
 matchOdmMultiplier(std::size_t n, std::uint64_t seed)
 {
     // Cache: the empirical bisection ratio is stable per scale and
-    // the max-flow evaluation is not free at 1296 nodes.
+    // the max-flow evaluation is not free at 1296 nodes. Guarded —
+    // concurrent scheduler threads resolve ODM multipliers too.
+    static std::mutex mutex;
     static std::map<std::size_t, int> cache;
+    const std::lock_guard<std::mutex> lock(mutex);
     const auto it = cache.find(n);
     if (it != cache.end())
         return it->second;

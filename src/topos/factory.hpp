@@ -11,7 +11,9 @@
 #include <memory>
 #include <string>
 
+#include "core/params.hpp"
 #include "net/topology.hpp"
+#include "net/topology_cache.hpp"
 
 namespace sf::topos {
 
@@ -46,7 +48,13 @@ int paperRouterPorts(TopoKind kind, std::size_t n);
 int randomTopologyPorts(std::size_t n);
 
 /**
- * Build a topology instance.
+ * Build a fresh topology instance.
+ *
+ * Topologies are immutable after construction and returned shared:
+ * every analysis/simulation consumer takes `const net::Topology &`,
+ * so one instance may be held by many runs at once. Callers that
+ * need mutation (gating / reconfiguration) construct a private
+ * core::StringFigure directly.
  *
  * @param odm_multiplier Parallel links per edge for ODM; 0 picks the
  *        multiplier that matches String Figure's empirical bisection
@@ -54,10 +62,43 @@ int randomTopologyPorts(std::size_t n);
  *        matchOdmMultiplier().
  * @throws std::invalid_argument for unsupported (kind, n) pairs.
  */
-std::unique_ptr<net::Topology> makeTopology(TopoKind kind,
-                                            std::size_t n,
-                                            std::uint64_t seed,
-                                            int odm_multiplier = 0);
+std::shared_ptr<const net::Topology> makeTopology(
+    TopoKind kind, std::size_t n, std::uint64_t seed,
+    int odm_multiplier = 0);
+
+/**
+ * Shared instance for (kind, n, seed, odm_multiplier) via the
+ * process-wide topology cache: repeated requests — e.g. every rate
+ * point of a latency sweep, or concurrent runs across scheduler
+ * threads — receive the same immutable topology, built once. Falls
+ * back to a fresh makeTopology() build while caching is disabled.
+ */
+std::shared_ptr<const net::Topology> cachedTopology(
+    TopoKind kind, std::size_t n, std::uint64_t seed,
+    int odm_multiplier = 0);
+
+/**
+ * Shared immutable StringFigure for arbitrary construction knobs
+ * (the ablation sweeps): every SFParams field participates in the
+ * cache key. Callers that will gate/reconfigure must construct a
+ * private core::StringFigure instead.
+ */
+std::shared_ptr<const net::Topology>
+cachedTopology(const core::SFParams &params);
+
+/** The process-wide topology cache behind cachedTopology(). */
+net::TopologyCache &topologyCache();
+
+/**
+ * Toggle cachedTopology() cache use (on by default). Results are
+ * identical either way — a cached topology is value-identical to a
+ * fresh build — so this only trades memory for build time; the
+ * sfx `--no-topo-cache` flag and the determinism tests use it.
+ */
+void setTopologyCacheEnabled(bool enabled);
+
+/** Current cachedTopology() cache-use setting. */
+bool topologyCacheEnabled();
 
 /**
  * Parallel-link multiplier that brings a mesh's empirical bisection

@@ -11,7 +11,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,21 +58,36 @@ class TableRoutedTopology : public net::Topology
     /** Subclasses populate this and call invalidateTable(). */
     net::Graph graph_;
 
-    /** Drop the cached distance table after topology changes. */
-    void invalidateTable() { tableValid_ = false; }
+    /** Drop the cached distance table after topology changes
+     *  (construction-time only; shared const instances never
+     *  invalidate). */
+    void invalidateTable()
+    {
+        tableValid_.store(false, std::memory_order_release);
+    }
 
   private:
+    /**
+     * Build the distance table on first use. Thread-safe: shared
+     * immutable instances route from many simulator threads at
+     * once, so the lazy build is double-checked under a mutex and
+     * published with release ordering.
+     */
     void
     ensureTable() const
     {
-        if (!tableValid_) {
+        if (tableValid_.load(std::memory_order_acquire))
+            return;
+        const std::lock_guard<std::mutex> lock(tableMutex_);
+        if (!tableValid_.load(std::memory_order_relaxed)) {
             dist_ = net::distanceTable(graph_);
-            tableValid_ = true;
+            tableValid_.store(true, std::memory_order_release);
         }
     }
 
+    mutable std::mutex tableMutex_;
     mutable std::vector<std::uint16_t> dist_;
-    mutable bool tableValid_ = false;
+    mutable std::atomic<bool> tableValid_{false};
 };
 
 } // namespace sf::topos

@@ -33,10 +33,18 @@ struct Socket {
 
 } // namespace
 
+namespace {
+
+/**
+ * Shared implementation: replay is read-only on @p topo except for
+ * the optional power gating, which requires the caller to pass the
+ * mutable StringFigure view in @p sf_mutable.
+ */
 ReplayResult
-replayTrace(const Trace &trace, net::Topology &topo,
-            const sim::SimConfig &sim_cfg, const ReplayConfig &cfg,
-            std::size_t gate_to_live)
+replayImpl(const Trace &trace, const net::Topology &topo,
+           core::StringFigure *sf_mutable,
+           const sim::SimConfig &sim_cfg, const ReplayConfig &cfg,
+           std::size_t gate_to_live)
 {
     ReplayResult result;
     if (trace.ops.empty()) {
@@ -45,11 +53,10 @@ replayTrace(const Trace &trace, net::Topology &topo,
     }
 
     // Static down-scaling happens before anything attaches or maps.
-    auto *sf_pregate = dynamic_cast<core::StringFigure *>(&topo);
     if (gate_to_live > 0 && cfg.staticGating &&
-        sf_pregate != nullptr) {
+        sf_mutable != nullptr) {
         Rng gate_rng(sim_cfg.seed * 13 + 5);
-        sf_pregate->reduceTo(gate_to_live, gate_rng);
+        sf_mutable->reduceTo(gate_to_live, gate_rng);
     }
 
     sim::NetworkModel net(topo, sim_cfg);
@@ -79,9 +86,8 @@ replayTrace(const Trace &trace, net::Topology &topo,
 
     // Optional mid-run power management (StringFigure only);
     // socket attachment points are never gated.
-    auto *sf_topo = cfg.staticGating
-                        ? nullptr
-                        : dynamic_cast<core::StringFigure *>(&topo);
+    core::StringFigure *sf_topo =
+        cfg.staticGating ? nullptr : sf_mutable;
     std::unique_ptr<mem::PowerManager> pm;
     if (gate_to_live > 0 && sf_topo != nullptr) {
         pm = std::make_unique<mem::PowerManager>(*sf_topo, net,
@@ -247,6 +253,25 @@ replayTrace(const Trace &trace, net::Topology &topo,
         result.rowMisses += node.rowMisses();
     }
     return result;
+}
+
+} // namespace
+
+ReplayResult
+replayTrace(const Trace &trace, const net::Topology &topo,
+            const sim::SimConfig &sim_cfg, const ReplayConfig &cfg)
+{
+    return replayImpl(trace, topo, nullptr, sim_cfg, cfg, 0);
+}
+
+ReplayResult
+replayTrace(const Trace &trace, net::Topology &topo,
+            const sim::SimConfig &sim_cfg, const ReplayConfig &cfg,
+            std::size_t gate_to_live)
+{
+    return replayImpl(trace, topo,
+                      dynamic_cast<core::StringFigure *>(&topo),
+                      sim_cfg, cfg, gate_to_live);
 }
 
 } // namespace sf::wl

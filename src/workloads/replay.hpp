@@ -83,15 +83,26 @@ struct ReplayResult {
 };
 
 /**
- * Replay @p trace on @p topo.
+ * Replay @p trace on an immutable topology. Read-only on @p topo,
+ * so a shared (cached) instance may serve many concurrent replays.
+ */
+ReplayResult replayTrace(const Trace &trace,
+                         const net::Topology &topo,
+                         const sim::SimConfig &sim_cfg,
+                         const ReplayConfig &cfg);
+
+/**
+ * Replay @p trace with power gating.
  *
  * @param gate_to_live When non-zero and the topology is a
- *        StringFigure, a PowerManager dynamically gates nodes until
- *        only this many stay live, mid-run (paper Fig 9(b)).
+ *        StringFigure, nodes are gated until only this many stay
+ *        live — up front (cfg.staticGating) or mid-run through a
+ *        PowerManager (paper Fig 9(b)). The topology must be a
+ *        private instance; never pass a shared cached one.
  */
 ReplayResult replayTrace(const Trace &trace, net::Topology &topo,
                          const sim::SimConfig &sim_cfg,
                          const ReplayConfig &cfg,
-                         std::size_t gate_to_live = 0);
+                         std::size_t gate_to_live);
 
 } // namespace sf::wl

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for sfx report diffing: metric deltas, the relative
+ * tolerance gate, structural mismatches, and the non-deterministic
+ * experiment exemption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/diff.hpp"
+
+namespace {
+
+using namespace sf::exp;
+
+/** Minimal sf-exp-report-v1 document with one experiment. */
+Json
+report(double sat_n16, double sat_n64, bool deterministic = true)
+{
+    const auto run = [](const char *id, double value) {
+        Json r = Json::object();
+        r.set("id", id);
+        r.set("seed", std::uint64_t{1});
+        r.set("params", Json::object());
+        Json m = Json::object();
+        m.set("saturation_rate", value);
+        m.set("design", "SF");
+        r.set("metrics", std::move(m));
+        return r;
+    };
+    Json e = Json::object();
+    e.set("name", "fig10_saturation");
+    e.set("deterministic", deterministic);
+    Json runs = Json::array();
+    runs.push(run("n16/SF", sat_n16));
+    runs.push(run("n64/SF", sat_n64));
+    e.set("runs", std::move(runs));
+    Json doc = Json::object();
+    doc.set("schema", "sf-exp-report-v1");
+    Json exps = Json::array();
+    exps.push(std::move(e));
+    doc.set("experiments", std::move(exps));
+    return doc;
+}
+
+TEST(Diff, IdenticalReportsAreClean)
+{
+    const Json a = report(0.5, 0.25);
+    const ReportDiff d = diffReports(a, a);
+    EXPECT_TRUE(d.clean());
+    EXPECT_EQ(d.compared, 4u);
+    EXPECT_TRUE(d.changed.empty());
+    EXPECT_TRUE(renderDiff(d).empty());
+}
+
+TEST(Diff, RegressionBeyondToleranceGates)
+{
+    const Json a = report(0.50, 0.25);
+    const Json b = report(0.40, 0.25); // -20% on n16
+    const ReportDiff strict = diffReports(a, b);
+    EXPECT_FALSE(strict.clean());
+    EXPECT_EQ(strict.regressions, 1u);
+    ASSERT_EQ(strict.changed.size(), 1u);
+    EXPECT_EQ(strict.changed[0].run, "n16/SF");
+    EXPECT_EQ(strict.changed[0].metric, "saturation_rate");
+    EXPECT_NEAR(strict.changed[0].relDelta, -0.2, 1e-12);
+    EXPECT_NE(renderDiff(strict).find("saturation_rate"),
+              std::string::npos);
+
+    // Within a generous tolerance the same delta passes (but is
+    // still reported as changed).
+    DiffOptions loose;
+    loose.tolerance = 0.25;
+    const ReportDiff ok = diffReports(a, b, loose);
+    EXPECT_TRUE(ok.clean());
+    EXPECT_EQ(ok.changed.size(), 1u);
+}
+
+TEST(Diff, NonDeterministicExperimentsNeverGate)
+{
+    const Json a = report(100.0, 200.0, false);
+    const Json b = report(150.0, 50.0, false);
+    const ReportDiff d = diffReports(a, b);
+    EXPECT_TRUE(d.clean());
+    EXPECT_EQ(d.changed.size(), 2u);
+    EXPECT_FALSE(d.changed[0].regression);
+    EXPECT_NE(renderDiff(d).find("non-deterministic"),
+              std::string::npos);
+}
+
+/** Mutable member lookup for test surgery on report documents. */
+Json &
+member(Json &obj, const char *key)
+{
+    for (auto &m : obj.asObject()) {
+        if (m.first == key)
+            return m.second;
+    }
+    throw std::runtime_error(std::string("missing key ") + key);
+}
+
+TEST(Diff, StructuralMismatchesGate)
+{
+    const Json a = report(0.5, 0.25);
+
+    // Remove one run: gates as "only in baseline".
+    Json b = report(0.5, 0.25);
+    member(member(b, "experiments").asArray()[0], "runs")
+        .asArray()
+        .pop_back();
+    const ReportDiff d = diffReports(a, b);
+    EXPECT_FALSE(d.clean());
+    ASSERT_EQ(d.structural.size(), 1u);
+    EXPECT_NE(d.structural[0].find("only in baseline"),
+              std::string::npos);
+
+    // A non-numeric metric flip is structural too.
+    Json c = report(0.5, 0.25);
+    Json &run0 = member(member(c, "experiments").asArray()[0],
+                        "runs")
+                     .asArray()[0];
+    member(member(run0, "metrics"), "design") = Json("DM");
+    const ReportDiff flip = diffReports(a, c);
+    EXPECT_FALSE(flip.clean());
+    EXPECT_EQ(flip.structural.size(), 1u);
+}
+
+TEST(Diff, RejectsNonReports)
+{
+    EXPECT_THROW(diffReports(Json::parse("{}"), report(1, 1)),
+                 JsonError);
+    EXPECT_THROW(diffReports(report(1, 1), Json::parse("[1,2]")),
+                 JsonError);
+}
+
+} // namespace

@@ -16,6 +16,8 @@
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/scheduler.hpp"
+#include "exp/work_pool.hpp"
+#include "topos/factory.hpp"
 
 namespace {
 
@@ -281,6 +283,116 @@ TEST(Report, ByteIdenticalAcrossJobCounts)
     }
     EXPECT_EQ(dumps[0], dumps[1]);
     EXPECT_FALSE(dumps[0].empty());
+}
+
+/**
+ * The refactor's core guarantee: a saturation-search experiment —
+ * shared cached topologies, nested parallel probes — produces a
+ * byte-identical report at any job count, with the topology cache
+ * on or off. Pinned on a small fig10 slice so it runs in seconds.
+ */
+TEST(Report, SaturationSliceByteIdenticalAcrossJobsAndCache)
+{
+    const ExperimentSpec *spec =
+        registry().find("fig10_saturation");
+    ASSERT_NE(spec, nullptr);
+    PlanContext plan_ctx;
+    plan_ctx.effort = Effort::Quick;
+    auto runs = spec->plan(plan_ctx);
+    std::erase_if(runs, [](const RunSpec &run) {
+        return !globMatch("uniform/n16/*", run.id);
+    });
+    ASSERT_GE(runs.size(), 3u);
+
+    const auto report_with = [&](int jobs, bool cache) {
+        sf::topos::setTopologyCacheEnabled(cache);
+        sf::topos::topologyCache().clear();
+        SchedulerOptions opts;
+        opts.jobs = jobs;
+        opts.effort = Effort::Quick;
+        ExperimentResults results;
+        results.spec = spec;
+        results.runs = runExperiment(*spec, runs, opts);
+        ReportOptions ropts;
+        ropts.effort = Effort::Quick;
+        ropts.jobs = jobs;
+        return buildReport({results}, ropts).dump(2);
+    };
+
+    const std::string reference = report_with(1, true);
+    EXPECT_FALSE(reference.empty());
+    EXPECT_EQ(report_with(8, true), reference);
+    EXPECT_EQ(report_with(1, false), reference);
+    EXPECT_EQ(report_with(8, false), reference);
+    sf::topos::setTopologyCacheEnabled(true);
+}
+
+TEST(Scheduler, RunBodiesGetNestedExecutor)
+{
+    ExperimentSpec spec;
+    spec.name = "nested";
+    spec.plan = [](const PlanContext &) {
+        std::vector<RunSpec> out;
+        for (int i = 0; i < 3; ++i) {
+            RunSpec run;
+            run.id = "n" + std::to_string(i);
+            run.body = [](const RunContext &ctx) -> Json {
+                // Nested fan-out through the scheduler's pool.
+                EXPECT_NE(ctx.executor, nullptr);
+                std::atomic<int> sum{0};
+                std::vector<std::function<void()>> tasks;
+                for (int t = 1; t <= 4; ++t)
+                    tasks.push_back([&sum, t] { sum += t; });
+                ctx.executor->runAll(tasks);
+                Json m = Json::object();
+                m.set("sum", sum.load());
+                return m;
+            };
+            out.push_back(std::move(run));
+        }
+        return out;
+    };
+    for (const int jobs : {1, 4}) {
+        SchedulerOptions opts;
+        opts.jobs = jobs;
+        const auto results =
+            runExperiment(spec, spec.plan({}), opts);
+        for (const RunResult &r : results) {
+            EXPECT_FALSE(r.failed) << r.error;
+            EXPECT_EQ(r.metrics.at("sum").asInt(), 10);
+        }
+    }
+}
+
+TEST(WorkPool, NestedBatchesAndExceptions)
+{
+    WorkPool pool(4);
+    EXPECT_EQ(pool.parallelism(), 4);
+
+    // Nested batches complete from inside pool tasks.
+    std::atomic<int> total{0};
+    std::vector<std::function<void()>> outer;
+    for (int i = 0; i < 4; ++i)
+        outer.push_back([&] {
+            std::vector<std::function<void()>> inner;
+            for (int j = 0; j < 8; ++j)
+                inner.push_back([&] { ++total; });
+            pool.runAll(inner);
+        });
+    pool.runAll(outer);
+    EXPECT_EQ(total.load(), 32);
+
+    // A throwing task propagates after the batch drains.
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> failing;
+    for (int i = 0; i < 6; ++i)
+        failing.push_back([&ran, i] {
+            ++ran;
+            if (i == 2)
+                throw std::runtime_error("task failed");
+        });
+    EXPECT_THROW(pool.runAll(failing), std::runtime_error);
+    EXPECT_EQ(ran.load(), 6);
 }
 
 TEST(Report, SchemaRoundTrip)

@@ -59,7 +59,7 @@ TEST(Integration, PlacementLatencyRaisesMeasuredLatency)
     // Annotating links with grid wire lengths must raise total
     // link latency relative to unit-latency links.
     const auto placement = net::Placement::rowMajor(64);
-    auto data = core::buildTopology(sfParams(64, 8));
+    auto data = core::buildTopologyData(sfParams(64, 8));
     net::applyPlacementLatency(data.graph, placement);
     double annotated = 0.0;
     double unit = 0.0;
@@ -77,7 +77,7 @@ TEST(Integration, SnakePlacementShortensSfWires)
 {
     // Ordering the grid by space-0 coordinates clusters ring
     // neighbours (the paper's MetaCube-style placement goal).
-    const auto data = core::buildTopology(sfParams(256, 8));
+    const auto data = core::buildTopologyData(sfParams(256, 8));
     const auto naive = net::Placement::rowMajor(256);
     const auto clustered =
         net::Placement::snakeOrder(data.spaces.ring(0));

@@ -27,7 +27,7 @@ makeParams(std::size_t n, int ports, LinkMode mode,
 
 TEST(Builder, RejectsTinyNetworks)
 {
-    EXPECT_THROW(buildTopology(makeParams(3, 4,
+    EXPECT_THROW(buildTopologyData(makeParams(3, 4,
                                           LinkMode::Unidirectional)),
                  std::invalid_argument);
 }
@@ -36,7 +36,7 @@ TEST(Builder, PortBudgetRespected)
 {
     for (const auto mode : {LinkMode::Unidirectional,
                             LinkMode::Bidirectional}) {
-        const auto data = buildTopology(makeParams(64, 4, mode));
+        const auto data = buildTopologyData(makeParams(64, 4, mode));
         for (NodeId u = 0; u < 64; ++u)
             EXPECT_LE(data.portsUsed[u], 4) << "node " << u;
     }
@@ -45,7 +45,7 @@ TEST(Builder, PortBudgetRespected)
 TEST(Builder, PortAccountingMatchesGraph)
 {
     const auto data =
-        buildTopology(makeParams(100, 8, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(100, 8, LinkMode::Unidirectional));
     for (NodeId u = 0; u < 100; ++u) {
         const int incident = static_cast<int>(
             data.graph.degreeOut(u) + data.graph.degreeIn(u));
@@ -56,7 +56,7 @@ TEST(Builder, PortAccountingMatchesGraph)
 TEST(Builder, EveryRingAdjacencyWired)
 {
     const auto data =
-        buildTopology(makeParams(60, 6, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(60, 6, LinkMode::Unidirectional));
     for (int s = 0; s < data.spaces.numSpaces(); ++s) {
         const auto &ring = data.spaces.ring(s);
         for (std::size_t i = 0; i < ring.size(); ++i) {
@@ -73,7 +73,7 @@ TEST(Builder, EveryRingAdjacencyWired)
 TEST(Builder, UnidirectionalStronglyConnected)
 {
     for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
-        const auto data = buildTopology(
+        const auto data = buildTopologyData(
             makeParams(80, 4, LinkMode::Unidirectional, seed));
         EXPECT_TRUE(net::stronglyConnected(data.graph))
             << "seed " << seed;
@@ -83,7 +83,7 @@ TEST(Builder, UnidirectionalStronglyConnected)
 TEST(Builder, BidirectionalStronglyConnected)
 {
     const auto data =
-        buildTopology(makeParams(80, 4, LinkMode::Bidirectional));
+        buildTopologyData(makeParams(80, 4, LinkMode::Bidirectional));
     EXPECT_TRUE(net::stronglyConnected(data.graph));
 }
 
@@ -92,7 +92,7 @@ TEST(Builder, ArbitraryNodeCounts)
     // The motivating feature: no power-of-two restriction.
     for (const std::size_t n : {17u, 61u, 113u, 130u}) {
         const auto data =
-            buildTopology(makeParams(n, 4, LinkMode::Unidirectional));
+            buildTopologyData(makeParams(n, 4, LinkMode::Unidirectional));
         EXPECT_EQ(data.graph.numNodes(), n);
         EXPECT_TRUE(net::stronglyConnected(data.graph));
     }
@@ -101,7 +101,7 @@ TEST(Builder, ArbitraryNodeCounts)
 TEST(Builder, ShortcutRules)
 {
     const auto data =
-        buildTopology(makeParams(200, 8, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(200, 8, LinkMode::Unidirectional));
     std::vector<int> shortcuts_from(200, 0);
     for (LinkId id = 0;
          id < static_cast<LinkId>(data.graph.numLinks()); ++id) {
@@ -123,7 +123,7 @@ TEST(Builder, ShortcutRules)
 TEST(Builder, RepairWiresDormantAtBuild)
 {
     const auto data =
-        buildTopology(makeParams(100, 8, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(100, 8, LinkMode::Unidirectional));
     for (LinkId id = 0;
          id < static_cast<LinkId>(data.graph.numLinks()); ++id) {
         const net::Link &l = data.graph.link(id);
@@ -137,14 +137,14 @@ TEST(Builder, ShortcutsOnlyModeHasNoRepairWires)
 {
     SFParams p = makeParams(100, 8, LinkMode::Unidirectional);
     p.repairMode = RepairMode::ShortcutsOnly;
-    const auto data = buildTopology(p);
+    const auto data = buildTopologyData(p);
     EXPECT_EQ(data.stats.repairWires, 0u);
 }
 
 TEST(Builder, WireInventoryConsistent)
 {
     const auto data =
-        buildTopology(makeParams(64, 6, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(64, 6, LinkMode::Unidirectional));
     for (const auto &[key, id] : data.wires) {
         const NodeId from = static_cast<NodeId>(key >> 32);
         const NodeId to = static_cast<NodeId>(key & 0xffffffffu);
@@ -158,7 +158,7 @@ TEST(Builder, EnabledLinkCountBounded)
     // Cnetwork <= N * (p/2 + 2) wires in unidirectional mode
     // (paper Section IV, bounded number of connections).
     const auto data =
-        buildTopology(makeParams(256, 8, LinkMode::Unidirectional));
+        buildTopologyData(makeParams(256, 8, LinkMode::Unidirectional));
     std::size_t enabled_wires = 0;
     for (LinkId id = 0;
          id < static_cast<LinkId>(data.graph.numLinks()); ++id) {
@@ -171,9 +171,9 @@ TEST(Builder, EnabledLinkCountBounded)
 TEST(Builder, DeterministicForSeed)
 {
     const auto a =
-        buildTopology(makeParams(90, 4, LinkMode::Unidirectional, 7));
+        buildTopologyData(makeParams(90, 4, LinkMode::Unidirectional, 7));
     const auto b =
-        buildTopology(makeParams(90, 4, LinkMode::Unidirectional, 7));
+        buildTopologyData(makeParams(90, 4, LinkMode::Unidirectional, 7));
     ASSERT_EQ(a.graph.numLinks(), b.graph.numLinks());
     for (LinkId id = 0;
          id < static_cast<LinkId>(a.graph.numLinks()); ++id) {
@@ -186,9 +186,9 @@ TEST(Builder, DeterministicForSeed)
 TEST(Builder, SeedsProduceDifferentTopologies)
 {
     const auto a =
-        buildTopology(makeParams(90, 4, LinkMode::Unidirectional, 1));
+        buildTopologyData(makeParams(90, 4, LinkMode::Unidirectional, 1));
     const auto b =
-        buildTopology(makeParams(90, 4, LinkMode::Unidirectional, 2));
+        buildTopologyData(makeParams(90, 4, LinkMode::Unidirectional, 2));
     bool differs = a.graph.numLinks() != b.graph.numLinks();
     if (!differs) {
         for (LinkId id = 0;
@@ -214,7 +214,7 @@ TEST_P(BuilderSweep, InvariantsHold)
     const auto [n, ports, mode_int] = GetParam();
     const auto mode = mode_int == 0 ? LinkMode::Unidirectional
                                     : LinkMode::Bidirectional;
-    const auto data = buildTopology(
+    const auto data = buildTopologyData(
         makeParams(static_cast<std::size_t>(n), ports, mode, 11));
 
     // Port budgets.
