@@ -162,6 +162,36 @@ diffReports(const Json &a, const Json &b, const DiffOptions &opts)
     return diff;
 }
 
+Json
+diffToJson(const ReportDiff &diff)
+{
+    Json doc = Json::object();
+    doc.set("schema", "sf-exp-diff-v1");
+    doc.set("compared", static_cast<std::int64_t>(diff.compared));
+    doc.set("regressions",
+            static_cast<std::int64_t>(diff.regressions));
+    doc.set("clean", diff.clean());
+    Json changed = Json::array();
+    for (const MetricDelta &d : diff.changed) {
+        Json c = Json::object();
+        c.set("experiment", d.experiment);
+        c.set("run", d.run);
+        c.set("metric", d.metric);
+        c.set("before", d.before);
+        c.set("after", d.after);
+        c.set("rel_delta", d.relDelta);
+        c.set("deterministic", d.deterministic);
+        c.set("regression", d.regression);
+        changed.push(std::move(c));
+    }
+    doc.set("changed", std::move(changed));
+    Json structural = Json::array();
+    for (const std::string &s : diff.structural)
+        structural.push(s);
+    doc.set("structural", std::move(structural));
+    return doc;
+}
+
 std::string
 renderDiff(const ReportDiff &diff)
 {

@@ -79,4 +79,11 @@ ReportDiff diffReports(const Json &a, const Json &b,
 /** Human-readable rendering (empty string when identical). */
 std::string renderDiff(const ReportDiff &diff);
 
+/**
+ * Structured rendering ("sf-exp-diff-v1"): the whole diff as one
+ * JSON document for tooling — `sfx diff --json` prints exactly
+ * this.
+ */
+Json diffToJson(const ReportDiff &diff);
+
 } // namespace sf::exp

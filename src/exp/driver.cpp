@@ -9,9 +9,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include <atomic>
+#include <memory>
+
 #include "exp/diff.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
+#include "exp/run_store.hpp"
 #include "exp/scheduler.hpp"
 #include "topos/factory.hpp"
 
@@ -26,6 +30,10 @@ struct CliOptions {
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
     std::string runFilter;
+    std::string checkpointDir;
+    /** 0 = unlimited; otherwise stop (exit 3) after this many
+     *  executed runs — a deterministic simulated interrupt. */
+    std::size_t maxRuns = 0;
     bool timing = false;
     bool listRuns = false;
     bool quiet = false;
@@ -43,6 +51,8 @@ printUsage(std::FILE *to)
         "  sfx list                       list registered "
         "experiments\n"
         "  sfx run <name|glob>...         run experiments\n"
+        "  sfx resume <dir>               finish a checkpointed "
+        "run\n"
         "  sfx diff <base.json> <new.json>  compare two reports\n"
         "\n"
         "run options:\n"
@@ -59,22 +69,55 @@ printUsage(std::FILE *to)
         "  --quiet       suppress tables, print a summary only\n"
         "  --no-topo-cache  rebuild topologies per run (identical "
         "results)\n"
+        "  --checkpoint DIR  persist completed runs under DIR and "
+        "skip runs\n"
+        "                 already stored there (resumable sweeps)\n"
+        "  --max-runs N  stop after N executed runs (simulated "
+        "interrupt,\n"
+        "                 exit 3); finish with `sfx resume DIR`\n"
+        "\n"
+        "resume options: --jobs, --out, --timing, --quiet, "
+        "--max-runs\n"
+        "(pattern, effort, seed, and --runs come from the "
+        "checkpoint's meta.json)\n"
         "\n"
         "diff options:\n"
         "  --tolerance F  accept relative metric drift up to F "
         "(e.g. 0.05);\n"
-        "                 exits 1 on regressions beyond it\n",
+        "                 exits 1 on regressions beyond it\n"
+        "  --json         structured sf-exp-diff-v1 output instead "
+        "of text\n"
+        "  --bless        overwrite <base.json> with <new.json>'s "
+        "bytes\n"
+        "                 (regenerate a committed baseline in "
+        "place)\n",
         static_cast<unsigned long long>(kBaseSeed));
 }
 
-/** Parse options shared by `sfx run` and the bench wrappers.
- *  Returns false (after printing a message) on bad usage. */
+/** Parse options shared by `sfx run`, `sfx resume`, and the bench
+ *  wrappers. With @p execution_knobs_only (resume), flags that
+ *  define the sweep itself — which the checkpoint's meta.json owns
+ *  — are rejected rather than parsed. Returns false (after
+ *  printing a message) on bad usage. */
 bool
 parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
-                bool accept_patterns)
+                bool accept_patterns,
+                bool execution_knobs_only = false)
 {
     for (int i = first; i < argc; ++i) {
         const std::string_view arg = argv[i];
+        if (execution_knobs_only &&
+            (arg == "--effort" || arg == "--quick" ||
+             arg == "--full" || arg == "--seed" ||
+             arg == "--runs" || arg == "--checkpoint" ||
+             arg == "--list-runs" || arg == "--no-topo-cache")) {
+            std::fprintf(stderr,
+                         "sfx: %s cannot be overridden on resume "
+                         "(the sweep comes from the checkpoint's "
+                         "meta.json)\n",
+                         argv[i]);
+            return false;
+        }
         const auto need_value = [&](const char *flag) -> char * {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "sfx: %s needs a value\n",
@@ -131,6 +174,22 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             if (!v)
                 return false;
             opts.runFilter = v;
+        } else if (arg == "--checkpoint") {
+            char *v = need_value("--checkpoint");
+            if (!v)
+                return false;
+            opts.checkpointDir = v;
+        } else if (arg == "--max-runs") {
+            char *v = need_value("--max-runs");
+            if (!v)
+                return false;
+            const int n = std::atoi(v);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "sfx: --max-runs must be >= 1\n");
+                return false;
+            }
+            opts.maxRuns = static_cast<std::size_t>(n);
         } else if (arg == "--timing") {
             opts.timing = true;
         } else if (arg == "--no-topo-cache") {
@@ -217,10 +276,37 @@ doRun(const CliOptions &opts)
 
     topos::setTopologyCacheEnabled(!opts.noTopoCache);
 
+    // Resumable sweeps: bind (or create) the checkpoint directory
+    // before any work, so meta mismatches fail fast.
+    std::unique_ptr<RunStore> store;
+    if (!opts.checkpointDir.empty()) {
+        try {
+            store =
+                std::make_unique<RunStore>(opts.checkpointDir);
+            Json meta = Json::object();
+            meta.set("schema", RunStore::kSchema);
+            meta.set("suite", "string-figure");
+            meta.set("patterns", joined);
+            meta.set("effort",
+                     std::string(effortName(opts.effort)));
+            meta.set("base_seed", opts.baseSeed);
+            meta.set("run_filter", opts.runFilter);
+            store->bindInvocation(meta);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sfx: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    std::atomic<std::size_t> executed{0};
+
     SchedulerOptions sched;
     sched.jobs = opts.jobs;
     sched.effort = opts.effort;
     sched.baseSeed = opts.baseSeed;
+    sched.store = store.get();
+    sched.maxExecuted = opts.maxRuns;
+    sched.executedCount = &executed;
 
     std::vector<ExperimentResults> all;
     all.reserve(specs.size());
@@ -243,6 +329,10 @@ doRun(const CliOptions &opts)
         }
         ExperimentResults results;
         results.spec = spec;
+        sched.specHash =
+            store ? specHash(*spec, runs, opts.effort,
+                             opts.baseSeed)
+                  : std::string();
         const auto start = std::chrono::steady_clock::now();
         results.runs = runExperiment(*spec, runs, sched);
         results.wallMs =
@@ -270,8 +360,17 @@ doRun(const CliOptions &opts)
             .count();
 
     std::size_t total_runs = 0;
-    for (const ExperimentResults &er : all)
+    std::size_t reused = 0;
+    std::size_t pending = 0;
+    std::size_t ran = 0;
+    for (const ExperimentResults &er : all) {
         total_runs += er.runs.size();
+        for (const RunResult &r : er.runs) {
+            reused += r.fromCheckpoint ? 1 : 0;
+            pending += r.skipped ? 1 : 0;
+            ran += (!r.fromCheckpoint && !r.skipped) ? 1 : 0;
+        }
+    }
     if (total_runs == 0 && !opts.runFilter.empty()) {
         std::fprintf(stderr,
                      "sfx: --runs '%s' matched no run in any "
@@ -282,6 +381,19 @@ doRun(const CliOptions &opts)
     std::printf("%zu experiment(s), %zu run(s) in %.1f ms%s\n",
                 all.size(), total_runs, suite_ms,
                 any_failed ? " — FAILURES above" : "");
+    if (store && !opts.quiet) {
+        const RunStore::Stats cs = store->stats();
+        std::printf("checkpoint %s: %zu reused, %zu stored, %zu "
+                    "stale, %zu quarantined\n",
+                    store->dir().c_str(), reused, cs.writes,
+                    cs.stale, cs.quarantined);
+    }
+    if (store && store->stats().writeErrors > 0)
+        std::fprintf(stderr,
+                     "sfx: warning: %zu checkpoint write(s) "
+                     "failed; those runs will re-execute on "
+                     "resume\n",
+                     store->stats().writeErrors);
     if (!opts.quiet && !opts.noTopoCache) {
         const auto cache = topos::topologyCache().stats();
         if (cache.hits + cache.misses > 0)
@@ -293,6 +405,21 @@ doRun(const CliOptions &opts)
                             cache.misses),
                         static_cast<unsigned long long>(
                             cache.evictions));
+    }
+
+    if (pending > 0) {
+        // The simulated interrupt fired: the sweep is incomplete,
+        // so no report may be written (it would not match an
+        // uninterrupted run).
+        std::string hint;
+        if (store)
+            hint = " — resume with `sfx resume " +
+                   opts.checkpointDir + "`";
+        std::fprintf(stderr,
+                     "sfx: stopped after %zu executed run(s) "
+                     "(--max-runs); %zu run(s) pending%s\n",
+                     ran, pending, hint.c_str());
+        return 3;
     }
 
     if (!opts.outPath.empty()) {
@@ -313,10 +440,53 @@ doRun(const CliOptions &opts)
     return any_failed ? 1 : 0;
 }
 
+/**
+ * `sfx resume DIR`: re-enter an interrupted `sfx run --checkpoint
+ * DIR` invocation. What to run (patterns, effort, base seed, run
+ * filter) comes from the checkpoint's meta.json so the resumed
+ * sweep is exactly the interrupted one; only execution knobs
+ * (--jobs, --out, --quiet, --timing, --max-runs) may be given.
+ */
+int
+doResume(int argc, char **argv)
+{
+    if (argc >= 3 && (std::string_view(argv[2]) == "--help" ||
+                      std::string_view(argv[2]) == "-h")) {
+        printUsage(stdout);
+        return 0;
+    }
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(
+            stderr,
+            "sfx: resume needs a checkpoint directory\n");
+        return 2;
+    }
+    const std::string dir = argv[2];
+    CliOptions opts;
+    if (!parseRunOptions(argc, argv, 3, opts,
+                         /*accept_patterns=*/false,
+                         /*execution_knobs_only=*/true))
+        return opts.helpShown ? 0 : 2;
+    try {
+        const Json meta = RunStore::readInvocationMeta(dir);
+        opts.patterns = {meta.at("patterns").asString()};
+        opts.effort = parseEffort(meta.at("effort").asString());
+        opts.baseSeed = meta.at("base_seed").asUint();
+        opts.runFilter = meta.at("run_filter").asString();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfx: %s\n", e.what());
+        return 2;
+    }
+    opts.checkpointDir = dir;
+    return doRun(opts);
+}
+
 int
 doDiff(int argc, char **argv)
 {
     DiffOptions opts;
+    bool json_out = false;
+    bool bless = false;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -339,6 +509,10 @@ doDiff(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+        } else if (arg == "--json") {
+            json_out = true;
+        } else if (arg == "--bless") {
+            bless = true;
         } else if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             return 0;
@@ -356,14 +530,30 @@ doDiff(int argc, char **argv)
         return 2;
     }
     try {
-        const Json base = Json::parse(readFile(paths[0]));
-        const Json current = Json::parse(readFile(paths[1]));
+        const std::string base_text = readFile(paths[0]);
+        const std::string current_text = readFile(paths[1]);
+        const Json base = Json::parse(base_text);
+        const Json current = Json::parse(current_text);
         const ReportDiff diff = diffReports(base, current, opts);
-        std::fputs(renderDiff(diff).c_str(), stdout);
-        std::printf("%zu metric(s) compared, %zu changed, %zu "
-                    "regression(s), %zu structural issue(s)\n",
-                    diff.compared, diff.changed.size(),
-                    diff.regressions, diff.structural.size());
+        if (json_out) {
+            std::fputs((diffToJson(diff).dump(2) + "\n").c_str(),
+                       stdout);
+        } else {
+            std::fputs(renderDiff(diff).c_str(), stdout);
+            std::printf("%zu metric(s) compared, %zu changed, %zu "
+                        "regression(s), %zu structural issue(s)\n",
+                        diff.compared, diff.changed.size(),
+                        diff.regressions, diff.structural.size());
+        }
+        if (bless) {
+            // Byte-exact copy, not a re-dump: the blessed baseline
+            // must be the candidate file verbatim.
+            if (base_text != current_text)
+                writeFile(paths[0], current_text);
+            if (!json_out)
+                std::printf("blessed: %s\n", paths[0].c_str());
+            return 0;
+        }
         return diff.clean() ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sfx: %s\n", e.what());
@@ -385,6 +575,8 @@ sfxMain(int argc, char **argv)
         return doList();
     if (command == "diff")
         return doDiff(argc, argv);
+    if (command == "resume")
+        return doResume(argc, argv);
     if (command == "run") {
         CliOptions opts;
         if (!parseRunOptions(argc, argv, 2, opts, true))

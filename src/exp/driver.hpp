@@ -5,12 +5,16 @@
  *
  *   sfx list                          — registry contents
  *   sfx run <name|glob>... [options]  — plan, schedule, report
+ *   sfx resume <dir> [options]        — finish an interrupted
+ *                                       --checkpoint invocation
  *   sfx diff <base.json> <new.json>   — per-run metric deltas,
  *                                       tolerance-gated exit code
  *
  * Options: --jobs N, --out FILE, --effort quick|default|full
  * (plus the legacy --quick/--full spellings), --seed S, --timing,
- * --list-runs, --quiet, --no-topo-cache; diff takes --tolerance F.
+ * --list-runs, --quiet, --no-topo-cache, --checkpoint DIR,
+ * --max-runs N (simulated interrupt, exit 3); diff takes
+ * --tolerance F, --json, and --bless.
  *
  * A bench wrapper is the same driver pinned to one glob:
  * benchMain("fig10_saturation", argc, argv).

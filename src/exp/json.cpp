@@ -199,6 +199,26 @@ class Parser {
         return v;
     }
 
+    std::vector<Json> documents(bool dropTruncatedTail)
+    {
+        std::vector<Json> out;
+        skipWs();
+        while (pos_ < text_.size()) {
+            try {
+                out.push_back(value());
+            } catch (const JsonError &) {
+                // A parse failure *at* end of input is a document
+                // cut off mid-write; anywhere earlier it is real
+                // corruption.
+                if (dropTruncatedTail && pos_ >= text_.size())
+                    return out;
+                throw;
+            }
+            skipWs();
+        }
+        return out;
+    }
+
   private:
     [[noreturn]] void fail(const char *what)
     {
@@ -414,6 +434,27 @@ Json
 Json::parse(std::string_view text)
 {
     return Parser(text).document();
+}
+
+std::vector<Json>
+Json::parseLines(std::string_view text, bool dropTruncatedTail)
+{
+    return Parser(text).documents(dropTruncatedTail);
+}
+
+void
+appendJsonLine(const std::string &path, const Json &value)
+{
+    const std::string line = value.dump() + "\n";
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        throw std::runtime_error("cannot open for appending: " +
+                                 path);
+    const std::size_t written =
+        std::fwrite(line.data(), 1, line.size(), f);
+    const int rc = std::fclose(f);
+    if (written != line.size() || rc != 0)
+        throw std::runtime_error("short append: " + path);
 }
 
 } // namespace sf::exp

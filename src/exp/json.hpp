@@ -132,6 +132,20 @@ class Json {
     /** Strict parse of a complete JSON document. */
     static Json parse(std::string_view text);
 
+    /**
+     * Parse a whitespace-separated stream of JSON documents — the
+     * JSON-Lines form appendJsonLine() writes. Returns the
+     * documents in stream order (possibly none); throws JsonError
+     * on a malformed document. With @p dropTruncatedTail, a final
+     * document cut off by end-of-input — the at-most-one partial
+     * trailing line a crashed appendJsonLine() writer leaves — is
+     * silently discarded and the complete prefix returned;
+     * mid-stream corruption still throws.
+     */
+    static std::vector<Json>
+    parseLines(std::string_view text,
+               bool dropTruncatedTail = false);
+
   private:
     template <typename T> bool holds() const
     {
@@ -143,5 +157,14 @@ class Json {
                  std::uint64_t, double, std::string, Array, Object>
         value_;
 };
+
+/**
+ * Streaming append: write @p value compactly plus a trailing
+ * newline to @p path, creating the file as needed. One O_APPEND
+ * write per call, so an interrupted writer leaves at most one
+ * partial trailing line and never damages earlier records; throws
+ * std::runtime_error on I/O failure.
+ */
+void appendJsonLine(const std::string &path, const Json &value);
 
 } // namespace sf::exp

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "exp/experiments/builtin.hpp"
+#include "net/rng.hpp"
 
 namespace sf::exp {
 
@@ -35,16 +36,7 @@ deriveSeed(std::string_view experiment, std::string_view run_id,
            std::uint64_t base)
 {
     // FNV-1a over "<experiment>/<run_id>" ...
-    std::uint64_t h = 14695981039346656037ULL;
-    const auto mix_in = [&h](std::string_view s) {
-        for (const char c : s) {
-            h ^= static_cast<unsigned char>(c);
-            h *= 1099511628211ULL;
-        }
-    };
-    mix_in(experiment);
-    mix_in("/");
-    mix_in(run_id);
+    std::uint64_t h = fnv1a64(run_id, fnv1a64("/", fnv1a64(experiment)));
     // ... mixed with the base seed and finalised with splitmix64 so
     // near-identical names land far apart.
     h += base * 0x9E3779B97F4A7C15ULL;

@@ -1,0 +1,292 @@
+#include "exp/run_store.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "exp/report.hpp"
+#include "net/rng.hpp"
+
+namespace fs = std::filesystem;
+
+namespace sf::exp {
+
+namespace {
+
+std::string
+hex16(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+/**
+ * Filesystem-safe rendering of a name. Run ids contain '/' and
+ * other grid punctuation; the readable part keeps [A-Za-z0-9._-]
+ * and the appended id hash guarantees distinct ids never share a
+ * file even when sanitisation collides them.
+ */
+std::string
+sanitize(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_' || c == '-';
+        out.push_back(safe ? c : '_');
+    }
+    if (out.size() > 80)
+        out.resize(80);
+    return out;
+}
+
+std::string
+entryFileName(const std::string &experiment,
+              const std::string &runId)
+{
+    // The hash chains experiment into run id so even two
+    // experiments whose *names* sanitise to the same directory
+    // keep distinct entry files.
+    return sanitize(runId) + "-" +
+           hex16(fnv1a64(runId, fnv1a64(experiment))) + ".json";
+}
+
+/**
+ * Checksum of an entry, its own "check" member excluded: the hex
+ * fnv64 of the compact dump of everything else, so truncation or a
+ * flipped byte anywhere in the stored values fails verification on
+ * load.
+ */
+std::string
+checksumOf(const Json &entry)
+{
+    Json payload = Json::object();
+    for (const Json::Member &m : entry.asObject())
+        if (m.first != "check")
+            payload.set(m.first, m.second);
+    return hex16(fnv1a64(payload.dump()));
+}
+
+/** writeFile + rename: the entry appears fully written or not at
+ *  all, never half. */
+void
+writeFileAtomic(const fs::path &path, const std::string &text)
+{
+    const fs::path tmp = path.string() + ".tmp";
+    writeFile(tmp.string(), text);
+    fs::rename(tmp, path);
+}
+
+} // namespace
+
+std::string
+specHash(const ExperimentSpec &exp, const std::vector<RunSpec> &runs,
+         Effort effort, std::uint64_t baseSeed)
+{
+    Json doc = Json::object();
+    doc.set("experiment", exp.name);
+    doc.set("artefact", exp.artefact);
+    doc.set("title", exp.title);
+    doc.set("deterministic", exp.deterministic);
+    doc.set("effort", std::string(effortName(effort)));
+    doc.set("base_seed", baseSeed);
+    Json grid = Json::array();
+    for (const RunSpec &run : runs) {
+        Json cell = Json::object();
+        cell.set("id", run.id);
+        cell.set("seed", deriveSeed(exp.name, run.id, baseSeed));
+        cell.set("params", run.params);
+        grid.push(std::move(cell));
+    }
+    doc.set("runs", std::move(grid));
+    return hex16(fnv1a64(doc.dump()));
+}
+
+RunStore::RunStore(std::string dir) : root_(std::move(dir))
+{
+    fs::create_directories(root_);
+}
+
+void
+RunStore::bindInvocation(const Json &meta)
+{
+    const fs::path path = fs::path(root_) / "meta.json";
+    if (!fs::exists(path)) {
+        writeFileAtomic(path, meta.dump(2) + "\n");
+        return;
+    }
+    Json existing;
+    try {
+        existing = Json::parse(readFile(path.string()));
+    } catch (const std::exception &e) {
+        throw std::runtime_error("corrupt checkpoint meta " +
+                                 path.string() + ": " + e.what());
+    }
+    for (const Json::Member &m : meta.asObject()) {
+        const Json *have = existing.find(m.first);
+        if (!have || !(*have == m.second))
+            throw std::runtime_error(
+                "checkpoint " + root_ +
+                " belongs to a different invocation (" + m.first +
+                ": " + (have ? have->dump() : "absent") +
+                ", this run needs " + m.second.dump() + ")");
+    }
+}
+
+Json
+RunStore::readInvocationMeta(const std::string &dir)
+{
+    const fs::path path = fs::path(dir) / "meta.json";
+    if (!fs::exists(path))
+        throw std::runtime_error(
+            "not a checkpoint directory (no meta.json): " + dir);
+    Json meta = Json::parse(readFile(path.string()));
+    const Json *schema = meta.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kSchema)
+        throw std::runtime_error("not an " + std::string(kSchema) +
+                                 " checkpoint: " + dir);
+    return meta;
+}
+
+std::string
+RunStore::entryPath(const std::string &experiment,
+                    const std::string &runId) const
+{
+    return (fs::path(root_) / sanitize(experiment) / "runs" /
+            entryFileName(experiment, runId))
+        .string();
+}
+
+void
+RunStore::logEvent(const char *event, const Key &key)
+{
+    // Caller holds mutex_ (appends must serialise so journal lines
+    // never interleave).
+    Json line = Json::object();
+    line.set("event", event);
+    line.set("experiment", key.experiment);
+    line.set("run", key.runId);
+    line.set("spec_hash", key.specHash);
+    try {
+        appendJsonLine(
+            (fs::path(root_) / "journal.jsonl").string(), line);
+    } catch (const std::exception &) {
+        // The journal is diagnostic only; never fail an operation
+        // over it.
+    }
+}
+
+void
+RunStore::quarantine(const std::string &path, const Key &key)
+{
+    const fs::path dir = fs::path(root_) / "quarantine";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path target =
+        dir / (sanitize(key.experiment) + "__" +
+               fs::path(path).filename().string());
+    fs::rename(path, target, ec);
+    if (ec)
+        fs::remove(path, ec); // at minimum get it out of runs/
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.quarantined;
+    logEvent("quarantine", key);
+}
+
+bool
+RunStore::load(const Key &key, RunResult &out)
+{
+    const std::string path = entryPath(key.experiment, key.runId);
+    if (!fs::exists(path)) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    }
+    Json entry;
+    try {
+        entry = Json::parse(readFile(path));
+        // Structural validation: every field the report needs, plus
+        // a checksum that catches in-place corruption.
+        const Json *schema = entry.find("schema");
+        if (!schema || !schema->isString() ||
+            schema->asString() != kSchema)
+            throw JsonError("bad schema");
+        (void)entry.at("experiment").asString();
+        (void)entry.at("id").asString();
+        (void)entry.at("seed").asUint();
+        (void)entry.at("spec_hash").asString();
+        (void)entry.at("metrics");
+        if (entry.at("check").asString() != checksumOf(entry))
+            throw JsonError("checksum mismatch");
+    } catch (const std::exception &) {
+        quarantine(path, key);
+        return false;
+    }
+    if (entry.at("experiment").asString() != key.experiment ||
+        entry.at("id").asString() != key.runId ||
+        entry.at("seed").asUint() != key.seed ||
+        entry.at("spec_hash").asString() != key.specHash) {
+        // Valid entry from an older registry / other invocation:
+        // stale, not corrupt. Leave it in place — a fresh result
+        // under the current key overwrites it via store().
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stale;
+        logEvent("stale", key);
+        return false;
+    }
+    out.metrics = entry.at("metrics");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return true;
+}
+
+void
+RunStore::store(const Key &key, const RunResult &result)
+{
+    const std::size_t attempt =
+        writeAttempts_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (writeFilter && !writeFilter(attempt)) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.dropped;
+        return;
+    }
+    Json entry = Json::object();
+    entry.set("schema", kSchema);
+    entry.set("experiment", key.experiment);
+    entry.set("id", key.runId);
+    entry.set("seed", key.seed);
+    entry.set("spec_hash", key.specHash);
+    entry.set("params", result.params);
+    entry.set("metrics", result.metrics);
+    entry.set("check", checksumOf(entry));
+    const std::string path = entryPath(key.experiment, key.runId);
+    try {
+        fs::create_directories(fs::path(path).parent_path());
+        writeFileAtomic(path, entry.dump(2) + "\n");
+    } catch (const std::exception &) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.writeErrors;
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+    logEvent("store", key);
+}
+
+RunStore::Stats
+RunStore::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace sf::exp

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "exp/run_store.hpp"
 #include "exp/work_pool.hpp"
 
 namespace sf::exp {
@@ -44,6 +45,9 @@ runExperiment(const ExperimentSpec &exp,
     // the long-running stragglers instead of sitting out.
     WorkPool pool(poolJobs(opts, runs.size()));
     std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> executed_local{0};
+    std::atomic<std::size_t> *executed =
+        opts.executedCount ? opts.executedCount : &executed_local;
     std::mutex progress_mutex;
 
     std::vector<std::function<void()>> tasks;
@@ -60,6 +64,31 @@ runExperiment(const ExperimentSpec &exp,
             ctx.effort = opts.effort;
             ctx.executor = &pool;
             result.seed = ctx.seed;
+            const auto progress = [&] {
+                const std::size_t completed =
+                    done.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (opts.onRunDone) {
+                    const std::lock_guard<std::mutex> lock(
+                        progress_mutex);
+                    opts.onRunDone(completed, runs.size(), result);
+                }
+            };
+            const RunStore::Key key{exp.name, run.id, ctx.seed,
+                                    opts.specHash};
+            if (opts.store && opts.store->load(key, result)) {
+                result.fromCheckpoint = true;
+                progress();
+                return;
+            }
+            if (opts.maxExecuted &&
+                executed->fetch_add(1,
+                                    std::memory_order_relaxed) >=
+                    opts.maxExecuted) {
+                result.skipped = true;
+                progress();
+                return;
+            }
             const auto start = std::chrono::steady_clock::now();
             try {
                 result.metrics = run.body(ctx);
@@ -74,13 +103,9 @@ runExperiment(const ExperimentSpec &exp,
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            const std::size_t completed =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (opts.onRunDone) {
-                const std::lock_guard<std::mutex> lock(
-                    progress_mutex);
-                opts.onRunDone(completed, runs.size(), result);
-            }
+            if (opts.store && !result.failed)
+                opts.store->store(key, result);
+            progress();
         });
     }
     pool.runAll(tasks);

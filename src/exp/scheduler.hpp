@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -21,6 +22,8 @@
 #include "exp/spec.hpp"
 
 namespace sf::exp {
+
+class RunStore;
 
 /** Outcome of one scheduled run. */
 struct RunResult {
@@ -33,6 +36,12 @@ struct RunResult {
     double wallMs = 0.0;
     bool failed = false;
     std::string error;
+    /** Served from the checkpoint store; body never executed.
+     *  Scheduling detail only — reports look identical either way. */
+    bool fromCheckpoint = false;
+    /** Not executed: the maxExecuted cap (simulated interrupt) hit
+     *  first. The sweep is incomplete and must not be reported. */
+    bool skipped = false;
 };
 
 /** Scheduler knobs. */
@@ -48,6 +57,28 @@ struct SchedulerOptions {
      */
     std::function<void(std::size_t, std::size_t, const RunResult &)>
         onRunDone;
+    /**
+     * Checkpoint store (may be null): runs it already holds under
+     * (experiment, id, seed, specHash) load instead of executing,
+     * and fresh successful results persist back immediately.
+     */
+    RunStore *store = nullptr;
+    /** Plan hash of the experiment being run; see specHash(). */
+    std::string specHash;
+    /**
+     * Execute at most this many run bodies (0 = unlimited).
+     * Checkpoint loads don't count. Runs beyond the cap come back
+     * with skipped = true — a deterministic stand-in for "the
+     * process died mid-sweep" that `sfx run --max-runs` and the
+     * crash-recovery tests use.
+     */
+    std::size_t maxExecuted = 0;
+    /**
+     * Shared executed-body counter for caps spanning several
+     * runExperiment() calls (one sfx invocation sweeps many
+     * experiments). Null means count per call.
+     */
+    std::atomic<std::size_t> *executedCount = nullptr;
 };
 
 /** Resolve the effective worker count for @p opts over @p n runs. */

@@ -13,8 +13,27 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace sf {
+
+/**
+ * Incremental FNV-1a over @p text, continuing from @p h (pass the
+ * previous return value to chain several fragments). The library's
+ * one canonical string hash: run seeds (exp::deriveSeed), checkpoint
+ * entry names, checksums, and spec hashes all derive from it, so
+ * the constants live in exactly one place.
+ */
+inline std::uint64_t
+fnv1a64(std::string_view text,
+        std::uint64_t h = 14695981039346656037ULL)
+{
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 /** Small, fast, deterministic random number generator. */
 class Rng

@@ -1,13 +1,16 @@
 /**
  * @file
  * Tests for sfx report diffing: metric deltas, the relative
- * tolerance gate, structural mismatches, and the non-deterministic
- * experiment exemption.
+ * tolerance gate, structural mismatches, the non-deterministic
+ * experiment exemption, the structured --json rendering, and the
+ * --bless baseline regeneration workflow.
  */
 
 #include <gtest/gtest.h>
 
 #include "exp/diff.hpp"
+#include "exp/report.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -131,6 +134,91 @@ TEST(Diff, RejectsNonReports)
                  JsonError);
     EXPECT_THROW(diffReports(report(1, 1), Json::parse("[1,2]")),
                  JsonError);
+}
+
+TEST(Diff, JsonRenderingCarriesTheWholeDiff)
+{
+    const Json a = report(0.50, 0.25);
+    Json b = report(0.40, 0.25); // -20% regression on n16
+    member(member(b, "experiments").asArray()[0], "runs")
+        .asArray()
+        .pop_back(); // plus one structural issue
+    const ReportDiff diff = diffReports(a, b);
+
+    const Json doc = diffToJson(diff);
+    EXPECT_EQ(doc.at("schema").asString(), "sf-exp-diff-v1");
+    EXPECT_EQ(doc.at("compared").asInt(), 2);
+    EXPECT_EQ(doc.at("regressions").asInt(), 1);
+    EXPECT_FALSE(doc.at("clean").asBool());
+    const auto &changed = doc.at("changed").asArray();
+    ASSERT_EQ(changed.size(), 1u);
+    EXPECT_EQ(changed[0].at("experiment").asString(),
+              "fig10_saturation");
+    EXPECT_EQ(changed[0].at("run").asString(), "n16/SF");
+    EXPECT_EQ(changed[0].at("metric").asString(),
+              "saturation_rate");
+    EXPECT_DOUBLE_EQ(changed[0].at("before").asDouble(), 0.50);
+    EXPECT_DOUBLE_EQ(changed[0].at("after").asDouble(), 0.40);
+    EXPECT_NEAR(changed[0].at("rel_delta").asDouble(), -0.2,
+                1e-12);
+    EXPECT_TRUE(changed[0].at("regression").asBool());
+    ASSERT_EQ(doc.at("structural").asArray().size(), 1u);
+
+    // A clean diff renders clean.
+    const Json clean = diffToJson(diffReports(a, a));
+    EXPECT_TRUE(clean.at("clean").asBool());
+    EXPECT_TRUE(clean.at("changed").asArray().empty());
+
+    // And the document round-trips byte-stably like any report.
+    EXPECT_EQ(Json::parse(doc.dump(2)).dump(2), doc.dump(2));
+}
+
+// ------------------------------------------------- CLI round trips
+
+using sf::test::callSfx;
+using sf::test::TempDir;
+
+/**
+ * ROADMAP item "--bless mode": an intended metric change becomes
+ * one command — the diff still prints, but the baseline file is
+ * regenerated as a byte-exact copy of the candidate, after which
+ * the strict gate passes again.
+ */
+TEST(Diff, BlessRegeneratesTheBaselineInPlace)
+{
+    TempDir dir;
+    const std::string base = dir.file("baseline.json");
+    const std::string cur = dir.file("current.json");
+    writeFile(base, report(0.50, 0.25).dump(2) + "\n");
+    writeFile(cur, report(0.40, 0.25).dump(2) + "\n");
+
+    // The strict gate fails before blessing...
+    EXPECT_EQ(callSfx({"sfx", "diff", base, cur}), 1);
+    // ...blessing reports the drift but exits 0 and rewrites...
+    EXPECT_EQ(callSfx({"sfx", "diff", base, cur, "--bless"}), 0);
+    EXPECT_EQ(readFile(base), readFile(cur));
+    // ...after which the gate is green again.
+    EXPECT_EQ(callSfx({"sfx", "diff", base, cur}), 0);
+}
+
+TEST(Diff, JsonFlagPrintsTheStructuredDocument)
+{
+    TempDir dir;
+    const std::string base = dir.file("baseline.json");
+    const std::string cur = dir.file("current.json");
+    writeFile(base, report(0.50, 0.25).dump(2) + "\n");
+    writeFile(cur, report(0.40, 0.25).dump(2) + "\n");
+
+    testing::internal::CaptureStdout();
+    const int rc = callSfx({"sfx", "diff", base, cur, "--json"});
+    const std::string out =
+        testing::internal::GetCapturedStdout();
+    EXPECT_EQ(rc, 1); // the gate still gates under --json
+
+    const Json doc = Json::parse(out);
+    EXPECT_EQ(doc.at("schema").asString(), "sf-exp-diff-v1");
+    EXPECT_EQ(doc.at("regressions").asInt(), 1);
+    EXPECT_FALSE(doc.at("clean").asBool());
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
+#include "exp/run_store.hpp"
 #include "exp/scheduler.hpp"
 #include "exp/work_pool.hpp"
 #include "topos/factory.hpp"
@@ -50,6 +51,155 @@ TEST(Seed, DeterministicAndNameSensitive)
     EXPECT_NE(a, deriveSeed("fig10", "n64/SF", 2020));
     // The split between experiment and run id matters.
     EXPECT_NE(deriveSeed("ab", "c", 1), deriveSeed("a", "bc", 1));
+}
+
+/**
+ * Checkpoint-key stability: derived seeds are the durable half of
+ * every RunStore key, so their current values are pinned as
+ * goldens — any change to deriveSeed silently orphans (or worse,
+ * key-collides) existing checkpoints and must fail here first.
+ */
+TEST(Seed, GoldenValuesPinned)
+{
+    EXPECT_EQ(
+        deriveSeed("fig10_saturation", "uniform/n64/SF", 2019),
+        12362867324200668264ULL);
+    EXPECT_EQ(deriveSeed("fig11_latency_curves",
+                         "n64/uniform/SF/r0.005", 2019),
+              10916031344874723452ULL);
+    EXPECT_EQ(deriveSeed("fig12_workloads", "wordcount/SF", 2019),
+              12461129398622044339ULL);
+    EXPECT_EQ(deriveSeed("table2_features", "SF", 2019),
+              2994852813146054711ULL);
+    EXPECT_EQ(deriveSeed("toy", "run0", 2019),
+              18086813016653929216ULL);
+}
+
+/** Fixed three-run spec used for the spec-hash property tests. */
+ExperimentSpec
+goldenToySpec()
+{
+    ExperimentSpec spec;
+    spec.name = "golden_toy";
+    spec.artefact = "test";
+    spec.title = "golden";
+    spec.plan = [](const PlanContext &) {
+        std::vector<RunSpec> out;
+        for (int i = 0; i < 3; ++i) {
+            RunSpec run;
+            run.id = "r" + std::to_string(i);
+            run.params.set("i", i);
+            run.body = [](const RunContext &) {
+                return Json::object();
+            };
+            out.push_back(std::move(run));
+        }
+        return out;
+    };
+    return spec;
+}
+
+/**
+ * The other half of the checkpoint key: spec hashes are a pure
+ * function of the expanded plan, so re-planning, registry
+ * iteration order, and the scheduler's job count can never move
+ * them — and the current values are pinned as goldens so silent
+ * key drift (which would either orphan or mis-serve checkpoints)
+ * fails loudly.
+ */
+TEST(SpecHash, GoldenValuesPinned)
+{
+    const ExperimentSpec spec = goldenToySpec();
+    const auto runs = spec.plan({});
+    EXPECT_EQ(specHash(spec, runs, Effort::Quick, 2019),
+              "3653d0edeb2ef160");
+    EXPECT_EQ(specHash(spec, runs, Effort::Default, 2019),
+              "d046f0547a7bbfce");
+}
+
+TEST(SpecHash, StableAcrossPlanningAndJobCounts)
+{
+    PlanContext ctx;
+    ctx.effort = Effort::Quick;
+    for (const ExperimentSpec &spec : registry().all()) {
+        const std::string first = specHash(
+            spec, spec.plan(ctx), ctx.effort, ctx.baseSeed);
+        // Re-planning the same grid is byte-stable.
+        EXPECT_EQ(specHash(spec, spec.plan(ctx), ctx.effort,
+                           ctx.baseSeed),
+                  first)
+            << spec.name;
+    }
+    // The job count is not even an input to specHash(): keying is
+    // a property of the plan alone, so checkpoints taken at
+    // --jobs 1 and --jobs 8 can never diverge. One executed spot
+    // check pins it end to end.
+    const ExperimentSpec spec = goldenToySpec();
+    const auto runs = spec.plan({});
+    const std::string hash =
+        specHash(spec, runs, Effort::Default, kBaseSeed);
+    for (const int jobs : {1, 8}) {
+        SchedulerOptions opts;
+        opts.jobs = jobs;
+        (void)runExperiment(spec, runs, opts);
+        EXPECT_EQ(
+            specHash(spec, runs, Effort::Default, kBaseSeed),
+            hash)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(SpecHash, IndependentOfRegistryIterationOrder)
+{
+    // Two registries holding the same specs in opposite insertion
+    // order must produce identical hashes for each experiment.
+    ExperimentSpec a = goldenToySpec();
+    ExperimentSpec b = goldenToySpec();
+    b.name = "other_toy";
+    Registry forward;
+    forward.add(a);
+    forward.add(b);
+    Registry backward;
+    backward.add(b);
+    backward.add(a);
+    for (const char *name : {"golden_toy", "other_toy"}) {
+        const ExperimentSpec *fwd = forward.find(name);
+        const ExperimentSpec *bwd = backward.find(name);
+        ASSERT_NE(fwd, nullptr);
+        ASSERT_NE(bwd, nullptr);
+        EXPECT_EQ(specHash(*fwd, fwd->plan({}), Effort::Default,
+                           kBaseSeed),
+                  specHash(*bwd, bwd->plan({}), Effort::Default,
+                           kBaseSeed));
+    }
+}
+
+TEST(SpecHash, SensitiveToEveryKeyedInput)
+{
+    const ExperimentSpec spec = goldenToySpec();
+    const auto runs = spec.plan({});
+    const std::string base =
+        specHash(spec, runs, Effort::Quick, 2019);
+
+    EXPECT_NE(specHash(spec, runs, Effort::Full, 2019), base);
+    EXPECT_NE(specHash(spec, runs, Effort::Quick, 2020), base);
+
+    ExperimentSpec renamed = spec;
+    renamed.name = "golden_toy2";
+    EXPECT_NE(specHash(renamed, runs, Effort::Quick, 2019), base);
+
+    auto reid = runs;
+    reid[0].id = "r0b";
+    EXPECT_NE(specHash(spec, reid, Effort::Quick, 2019), base);
+
+    auto reparam = runs;
+    reparam[1].params.set("i", 99);
+    EXPECT_NE(specHash(spec, reparam, Effort::Quick, 2019), base);
+
+    auto grown = runs;
+    grown.push_back(runs[0]);
+    grown.back().id = "r3";
+    EXPECT_NE(specHash(spec, grown, Effort::Quick, 2019), base);
 }
 
 TEST(Registry, BuiltinsPresent)

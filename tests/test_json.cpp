@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "exp/json.hpp"
 
@@ -168,6 +170,77 @@ TEST(Json, PrettyPrint)
     EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
     EXPECT_EQ(Json::object().dump(2), "{}");
     EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(Json, ParseLinesStreamsDocuments)
+{
+    // The JSON-Lines form the checkpoint journal uses: one compact
+    // document per line, in stream order.
+    const auto docs = Json::parseLines(
+        "{\"event\":\"store\",\"run\":\"a\"}\n"
+        "\n"
+        "{\"event\":\"stale\",\"run\":\"b\"}\n"
+        "7\n");
+    ASSERT_EQ(docs.size(), 3u);
+    EXPECT_EQ(docs[0].at("event").asString(), "store");
+    EXPECT_EQ(docs[1].at("run").asString(), "b");
+    EXPECT_EQ(docs[2].asInt(), 7);
+
+    EXPECT_TRUE(Json::parseLines("").empty());
+    EXPECT_TRUE(Json::parseLines("  \n \n").empty());
+    // A malformed record anywhere in the stream still throws.
+    EXPECT_THROW(Json::parseLines("{\"a\":1}\n{oops"), JsonError);
+}
+
+TEST(Json, ParseLinesCanDropATruncatedTail)
+{
+    // A crashed appendJsonLine() writer leaves at most one partial
+    // trailing line; dropTruncatedTail returns the complete prefix
+    // instead of throwing away the whole stream.
+    const std::string stream =
+        "{\"event\":\"store\",\"run\":\"a\"}\n"
+        "{\"event\":\"store\",\"run\":\"b\"}\n"
+        "{\"event\":\"sto"; // killed mid-write
+    EXPECT_THROW(Json::parseLines(stream), JsonError);
+    const auto docs = Json::parseLines(stream, true);
+    ASSERT_EQ(docs.size(), 2u);
+    EXPECT_EQ(docs[1].at("run").asString(), "b");
+
+    // Truncated mid-string, mid-number-less cases too.
+    EXPECT_EQ(Json::parseLines("1\n\"unterminat", true).size(),
+              1u);
+    EXPECT_EQ(Json::parseLines("[1,2", true).size(), 0u);
+
+    // Mid-stream corruption is NOT a truncated tail: still throws.
+    EXPECT_THROW(Json::parseLines("{oops}\n{\"a\":1}", true),
+                 JsonError);
+}
+
+TEST(Json, AppendJsonLineAccumulatesAStream)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "sf_jsonl_test.jsonl";
+    std::remove(path.c_str());
+
+    for (int i = 0; i < 3; ++i) {
+        Json line = Json::object();
+        line.set("i", i);
+        sf::exp::appendJsonLine(path, line);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[256];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(text, "{\"i\":0}\n{\"i\":1}\n{\"i\":2}\n");
+    const auto docs = Json::parseLines(text);
+    ASSERT_EQ(docs.size(), 3u);
+    EXPECT_EQ(docs[2].at("i").asInt(), 2);
 }
 
 } // namespace

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Crash-recovery harness for the checkpoint store (run_store.hpp).
+ *
+ * The hard guarantee under test: a sweep interrupted at any point —
+ * process killed after the k-th persisted run, a checkpoint file
+ * truncated mid-write, a byte flipped on disk — resumes to a report
+ * byte-identical to an uninterrupted run, with corrupted entries
+ * quarantined and re-executed and stale (spec-hash-mismatched)
+ * entries invalidated per experiment, never trusted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/run_store.hpp"
+#include "exp/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace sf::exp;
+using sf::test::callSfx;
+using sf::test::TempDir;
+
+/**
+ * Toy experiment whose bodies count their own executions, so tests
+ * can assert exactly which runs were served from the checkpoint
+ * and which re-ran.
+ */
+ExperimentSpec
+countingSpec(std::atomic<int> *executions, const std::string &name,
+             int runs)
+{
+    ExperimentSpec spec;
+    spec.name = name;
+    spec.artefact = "test";
+    spec.title = "crash-recovery toy";
+    spec.plan = [executions, name, runs](const PlanContext &) {
+        std::vector<RunSpec> out;
+        for (int i = 0; i < runs; ++i) {
+            RunSpec run;
+            run.id = "grid/r" + std::to_string(i);
+            run.params.set("i", i);
+            run.body = [executions,
+                        i](const RunContext &ctx) -> Json {
+                if (executions)
+                    ++*executions;
+                Json m = Json::object();
+                m.set("square", i * i);
+                m.set("seed_echo", ctx.seed);
+                m.set("rate", 0.5 + 0.25 * i);
+                return m;
+            };
+            out.push_back(std::move(run));
+        }
+        return out;
+    };
+    return spec;
+}
+
+/** Sweep one experiment and build the pretty-printed report. */
+std::string
+sweep(const ExperimentSpec &spec, RunStore *store, int jobs = 1)
+{
+    const auto runs = spec.plan({});
+    SchedulerOptions opts;
+    opts.jobs = jobs;
+    opts.store = store;
+    if (store)
+        opts.specHash =
+            specHash(spec, runs, opts.effort, opts.baseSeed);
+    ExperimentResults results;
+    results.spec = &spec;
+    results.runs = runExperiment(spec, runs, opts);
+    return buildReport({results}, ReportOptions{}).dump(2);
+}
+
+constexpr int kRuns = 8;
+
+/**
+ * Satellite 1, part 1 — kill after the k-th persisted run, for
+ * k in {0, 1, mid, all}: the writeFilter hook drops every write
+ * after the k-th, the "crashed" invocation's report is discarded,
+ * and a fresh store over the same directory must resume to the
+ * reference bytes while executing exactly the lost runs.
+ */
+TEST(CrashRecovery, KillAfterKthRunResumesByteIdentical)
+{
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "crash_toy", kRuns);
+    const std::string reference = sweep(spec, nullptr);
+
+    for (const int k : {0, 1, kRuns / 2, kRuns}) {
+        TempDir dir;
+        {
+            RunStore crashed(dir.path());
+            crashed.writeFilter = [k](std::size_t attempt) {
+                return attempt <= static_cast<std::size_t>(k);
+            };
+            (void)sweep(spec, &crashed); // report lost in the crash
+            EXPECT_EQ(crashed.stats().writes,
+                      static_cast<std::size_t>(k));
+            EXPECT_EQ(crashed.stats().dropped,
+                      static_cast<std::size_t>(kRuns - k));
+        }
+        std::atomic<int> executions{0};
+        const ExperimentSpec counted =
+            countingSpec(&executions, "crash_toy", kRuns);
+        RunStore fresh(dir.path());
+        const std::string resumed = sweep(counted, &fresh);
+        EXPECT_EQ(resumed, reference) << "k=" << k;
+        EXPECT_EQ(executions.load(), kRuns - k) << "k=" << k;
+        EXPECT_EQ(fresh.stats().hits,
+                  static_cast<std::size_t>(k));
+        // Now complete: a further resume executes nothing.
+        executions = 0;
+        RunStore full(dir.path());
+        EXPECT_EQ(sweep(counted, &full), reference);
+        EXPECT_EQ(executions.load(), 0);
+    }
+}
+
+/** The same crash matrix under a concurrent scheduler: which k
+ *  runs survive is arbitrary, the resumed bytes are not. */
+TEST(CrashRecovery, KillUnderConcurrencyResumesByteIdentical)
+{
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "crash_toy_mt", kRuns);
+    const std::string reference = sweep(spec, nullptr);
+    for (const int k : {1, kRuns / 2}) {
+        TempDir dir;
+        {
+            RunStore crashed(dir.path());
+            crashed.writeFilter = [k](std::size_t attempt) {
+                return attempt <= static_cast<std::size_t>(k);
+            };
+            (void)sweep(spec, &crashed, /*jobs=*/8);
+        }
+        RunStore fresh(dir.path());
+        EXPECT_EQ(sweep(spec, &fresh, /*jobs=*/8), reference)
+            << "k=" << k;
+        EXPECT_EQ(fresh.stats().hits,
+                  static_cast<std::size_t>(k));
+    }
+}
+
+/**
+ * Satellite 1, part 2 — a checkpoint file truncated mid-write
+ * (half its bytes) fails validation, is quarantined, and its run
+ * re-executes; everything else loads and the report is identical.
+ */
+TEST(CrashRecovery, TruncatedEntryQuarantinedAndReRun)
+{
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "trunc_toy", kRuns);
+    const std::string reference = sweep(spec, nullptr);
+
+    TempDir dir;
+    {
+        RunStore store(dir.path());
+        (void)sweep(spec, &store);
+        EXPECT_EQ(store.stats().writes,
+                  static_cast<std::size_t>(kRuns));
+    }
+    RunStore probe(dir.path());
+    const std::string victim =
+        probe.entryPath("trunc_toy", "grid/r3");
+    const std::string text = readFile(victim);
+    writeFile(victim, text.substr(0, text.size() / 2));
+
+    std::atomic<int> executions{0};
+    const ExperimentSpec counted =
+        countingSpec(&executions, "trunc_toy", kRuns);
+    RunStore fresh(dir.path());
+    EXPECT_EQ(sweep(counted, &fresh), reference);
+    EXPECT_EQ(executions.load(), 1);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+    EXPECT_EQ(fresh.stats().hits,
+              static_cast<std::size_t>(kRuns - 1));
+    // The corpse is preserved under quarantine/, not deleted.
+    EXPECT_TRUE(
+        fs::exists(fs::path(dir.path()) / "quarantine"));
+    EXPECT_FALSE(fs::is_empty(
+        fs::path(dir.path()) / "quarantine"));
+}
+
+/**
+ * Satellite 1, part 3 — a single flipped byte inside a stored
+ * metric value still parses as JSON, so only the embedded checksum
+ * can catch it; the entry must be quarantined, never trusted.
+ */
+TEST(CrashRecovery, FlippedByteQuarantinedAndReRun)
+{
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "flip_toy", kRuns);
+    const std::string reference = sweep(spec, nullptr);
+
+    TempDir dir;
+    {
+        RunStore store(dir.path());
+        (void)sweep(spec, &store);
+    }
+    RunStore probe(dir.path());
+    const std::string victim =
+        probe.entryPath("flip_toy", "grid/r5");
+    std::string text = readFile(victim);
+    // Flip one digit of "square": 25 -> 35. Still valid JSON.
+    const std::size_t pos = text.find("\"square\": 25");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + std::string("\"square\": ").size()] = '3';
+    writeFile(victim, text);
+
+    std::atomic<int> executions{0};
+    const ExperimentSpec counted =
+        countingSpec(&executions, "flip_toy", kRuns);
+    RunStore fresh(dir.path());
+    EXPECT_EQ(sweep(counted, &fresh), reference);
+    EXPECT_EQ(executions.load(), 1);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+}
+
+/**
+ * A registry change — here simulated by re-planning the experiment
+ * with one extra grid cell — flips the spec hash and invalidates
+ * exactly that experiment's entries; a sibling experiment in the
+ * same checkpoint keeps loading.
+ */
+TEST(CrashRecovery, SpecHashMismatchInvalidatesOnlyThatExperiment)
+{
+    const ExperimentSpec a = countingSpec(nullptr, "exp_a", kRuns);
+    const ExperimentSpec b = countingSpec(nullptr, "exp_b", kRuns);
+
+    TempDir dir;
+    {
+        RunStore store(dir.path());
+        (void)sweep(a, &store);
+        (void)sweep(b, &store);
+    }
+
+    // "The registry changed": exp_a now plans one more run.
+    std::atomic<int> executions_a{0};
+    const ExperimentSpec a2 =
+        countingSpec(&executions_a, "exp_a", kRuns + 1);
+    const std::string reference_a2 = sweep(a2, nullptr);
+    executions_a = 0;
+
+    RunStore fresh(dir.path());
+    EXPECT_EQ(sweep(a2, &fresh), reference_a2);
+    // Every old exp_a entry is stale: all kRuns + 1 bodies ran.
+    EXPECT_EQ(executions_a.load(), kRuns + 1);
+    EXPECT_EQ(fresh.stats().stale,
+              static_cast<std::size_t>(kRuns));
+    EXPECT_EQ(fresh.stats().hits, 0u);
+
+    // exp_b is untouched and still loads fully.
+    std::atomic<int> executions_b{0};
+    const ExperimentSpec b2 =
+        countingSpec(&executions_b, "exp_b", kRuns);
+    RunStore other(dir.path());
+    (void)sweep(b2, &other);
+    EXPECT_EQ(executions_b.load(), 0);
+    EXPECT_EQ(other.stats().hits,
+              static_cast<std::size_t>(kRuns));
+
+    // And the invalidated entries were overwritten in place: a
+    // second exp_a sweep under the new hash is all hits.
+    executions_a = 0;
+    RunStore again(dir.path());
+    (void)sweep(a2, &again);
+    EXPECT_EQ(executions_a.load(), 0);
+    EXPECT_EQ(again.stats().hits,
+              static_cast<std::size_t>(kRuns + 1));
+}
+
+TEST(RunStore, MetaBindingRejectsDifferentInvocation)
+{
+    TempDir dir;
+    Json meta = Json::object();
+    meta.set("schema", RunStore::kSchema);
+    meta.set("patterns", "fig1*");
+    meta.set("effort", "quick");
+    meta.set("base_seed", std::uint64_t{2019});
+    meta.set("run_filter", "");
+
+    RunStore store(dir.path());
+    store.bindInvocation(meta);
+    store.bindInvocation(meta); // same invocation rebinds fine
+
+    Json other = meta;
+    other.set("effort", "full");
+    EXPECT_THROW(store.bindInvocation(other), std::runtime_error);
+
+    // readInvocationMeta round-trips, and rejects non-checkpoints.
+    const Json read =
+        RunStore::readInvocationMeta(dir.path());
+    EXPECT_EQ(read.at("patterns").asString(), "fig1*");
+    TempDir empty;
+    EXPECT_THROW(RunStore::readInvocationMeta(empty.path()),
+                 std::runtime_error);
+}
+
+TEST(RunStore, JournalStreamsEvents)
+{
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "journal_toy", 3);
+    TempDir dir;
+    {
+        RunStore store(dir.path());
+        (void)sweep(spec, &store);
+    }
+    const std::string journal = readFile(
+        (fs::path(dir.path()) / "journal.jsonl").string());
+    // Lenient tail: a crashed writer may leave a partial line.
+    const std::vector<Json> events =
+        Json::parseLines(journal, /*dropTruncatedTail=*/true);
+    ASSERT_EQ(events.size(), 3u);
+    for (const Json &e : events) {
+        EXPECT_EQ(e.at("event").asString(), "store");
+        EXPECT_EQ(e.at("experiment").asString(), "journal_toy");
+    }
+}
+
+/** Distinct run ids — or experiment names — that sanitise
+ *  identically must not collide on a shared entry file. */
+TEST(RunStore, EntryPathsDisambiguateSanitisedCollisions)
+{
+    TempDir dir;
+    RunStore store(dir.path());
+    EXPECT_NE(store.entryPath("e", "a/b"),
+              store.entryPath("e", "a_b"));
+    EXPECT_NE(store.entryPath("e", "a/b"),
+              store.entryPath("e2", "a/b"));
+    // "e/x" and "e_x" share a sanitised directory; the chained
+    // hash keeps their entry files apart.
+    EXPECT_NE(store.entryPath("e/x", "r0"),
+              store.entryPath("e_x", "r0"));
+}
+
+// --------------------------------------------------- CLI end-to-end
+
+/**
+ * The acceptance path end to end, at --jobs 1 and 8: `sfx run
+ * --checkpoint --max-runs` exits 3 (interrupted), `sfx resume`
+ * finishes from meta.json alone, and the resumed report is
+ * byte-identical to an uninterrupted single-shot run. Uses a
+ * two-experiment sweep plus a fig1* slice so checkpoints span
+ * experiments with distinct spec hashes.
+ */
+TEST(SfxCli, InterruptedThenResumedReportIsByteIdentical)
+{
+    for (const char *jobs : {"1", "8"}) {
+        TempDir work;
+        const std::string clean = work.file("clean.json");
+        const std::string resumed = work.file("resumed.json");
+        const std::string ckpt = work.file("ckpt");
+
+        ASSERT_EQ(callSfx({"sfx", "run", "table2_features",
+                           "ablation_reconfig_envelope",
+                           "--quick", "--quiet", "--jobs", jobs,
+                           "--out", clean}),
+                  0);
+        EXPECT_EQ(callSfx({"sfx", "run", "table2_features",
+                           "ablation_reconfig_envelope",
+                           "--quick", "--quiet", "--jobs", jobs,
+                           "--checkpoint", ckpt, "--max-runs",
+                           "2"}),
+                  3);
+        EXPECT_EQ(callSfx({"sfx", "resume", ckpt, "--quiet",
+                           "--jobs", jobs, "--out", resumed}),
+                  0);
+        EXPECT_EQ(readFile(resumed), readFile(clean));
+    }
+}
+
+TEST(SfxCli, Fig1SliceInterruptedThenResumed)
+{
+    TempDir work;
+    const std::string clean = work.file("clean.json");
+    const std::string resumed = work.file("resumed.json");
+    const std::string ckpt = work.file("ckpt");
+
+    ASSERT_EQ(callSfx({"sfx", "run", "fig1*", "--quick",
+                       "--quiet", "--runs", "*/n16/*", "--jobs",
+                       "8", "--out", clean}),
+              0);
+    EXPECT_EQ(callSfx({"sfx", "run", "fig1*", "--quick",
+                       "--quiet", "--runs", "*/n16/*", "--jobs",
+                       "8", "--checkpoint", ckpt, "--max-runs",
+                       "5"}),
+              3);
+    // Resume restores patterns, effort, and the --runs filter from
+    // meta.json; only execution knobs are passed here.
+    EXPECT_EQ(callSfx({"sfx", "resume", ckpt, "--quiet", "--jobs",
+                       "1", "--out", resumed}),
+              0);
+    EXPECT_EQ(readFile(resumed), readFile(clean));
+}
+
+/** A checkpoint made by one invocation refuses another's flags. */
+TEST(SfxCli, CheckpointRejectsMismatchedInvocation)
+{
+    TempDir work;
+    const std::string ckpt = work.file("ckpt");
+    EXPECT_EQ(callSfx({"sfx", "run", "table2_features", "--quick",
+                       "--quiet", "--checkpoint", ckpt}),
+              0);
+    EXPECT_EQ(callSfx({"sfx", "run", "table2_features", "--quiet",
+                       "--checkpoint", ckpt}),
+              2); // different effort
+    EXPECT_EQ(callSfx({"sfx", "run", "bisection_bandwidth",
+                       "--quick", "--quiet", "--checkpoint",
+                       ckpt}),
+              2); // different patterns
+    EXPECT_EQ(callSfx({"sfx", "resume", work.file("nope")}),
+              2); // not a checkpoint directory
+}
+
+} // namespace

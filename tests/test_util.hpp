@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for CLI-level and filesystem-touching tests:
+ * a self-deleting mkdtemp scratch directory and an argv marshaller
+ * for driving sfxMain in-process. Not a test binary itself (the
+ * CMake glob only picks up tests/test_*.cpp).
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/driver.hpp"
+
+namespace sf::test {
+
+/** Self-deleting mkdtemp directory. */
+class TempDir {
+  public:
+    explicit TempDir(const char *prefix = "sf_test_")
+    {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() /
+             (std::string(prefix) + "XXXXXX"))
+                .string();
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (!mkdtemp(buf.data()))
+            throw std::runtime_error("mkdtemp failed");
+        path_ = buf.data();
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Path of @p name inside this directory. */
+    std::string file(const std::string &name) const
+    {
+        return (std::filesystem::path(path_) / name).string();
+    }
+
+  private:
+    std::string path_;
+};
+
+/** Run the sfx CLI in-process: callSfx({"sfx", "run", ...}). */
+inline int
+callSfx(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    return sf::exp::sfxMain(static_cast<int>(argv.size()),
+                            argv.data());
+}
+
+} // namespace sf::test
