@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reconfig.dir/bench/ablation_reconfig.cpp.o"
+  "CMakeFiles/bench_ablation_reconfig.dir/bench/ablation_reconfig.cpp.o.d"
+  "ablation_reconfig"
+  "ablation_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_hop.dir/bench/ablation_two_hop.cpp.o"
+  "CMakeFiles/bench_ablation_two_hop.dir/bench/ablation_two_hop.cpp.o.d"
+  "ablation_two_hop"
+  "ablation_two_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

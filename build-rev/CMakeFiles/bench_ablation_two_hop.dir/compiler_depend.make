@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_two_hop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_unidir.cpp" "CMakeFiles/bench_ablation_unidir.dir/bench/ablation_unidir.cpp.o" "gcc" "CMakeFiles/bench_ablation_unidir.dir/bench/ablation_unidir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/sf_exp.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_topos.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_mem.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

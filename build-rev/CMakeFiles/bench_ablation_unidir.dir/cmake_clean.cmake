@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unidir.dir/bench/ablation_unidir.cpp.o"
+  "CMakeFiles/bench_ablation_unidir.dir/bench/ablation_unidir.cpp.o.d"
+  "ablation_unidir"
+  "ablation_unidir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

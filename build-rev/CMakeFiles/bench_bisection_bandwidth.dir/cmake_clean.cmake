@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisection_bandwidth.dir/bench/bisection_bandwidth.cpp.o"
+  "CMakeFiles/bench_bisection_bandwidth.dir/bench/bisection_bandwidth.cpp.o.d"
+  "bisection_bandwidth"
+  "bisection_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisection_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

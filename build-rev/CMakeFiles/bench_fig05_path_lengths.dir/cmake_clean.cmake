@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_path_lengths.dir/bench/fig05_path_lengths.cpp.o"
+  "CMakeFiles/bench_fig05_path_lengths.dir/bench/fig05_path_lengths.cpp.o.d"
+  "fig05_path_lengths"
+  "fig05_path_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_path_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

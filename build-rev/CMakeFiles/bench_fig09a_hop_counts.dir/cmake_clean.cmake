@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09a_hop_counts.dir/bench/fig09a_hop_counts.cpp.o"
+  "CMakeFiles/bench_fig09a_hop_counts.dir/bench/fig09a_hop_counts.cpp.o.d"
+  "fig09a_hop_counts"
+  "fig09a_hop_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09a_hop_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

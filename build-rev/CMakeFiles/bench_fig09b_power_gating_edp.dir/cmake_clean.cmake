@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09b_power_gating_edp.dir/bench/fig09b_power_gating_edp.cpp.o"
+  "CMakeFiles/bench_fig09b_power_gating_edp.dir/bench/fig09b_power_gating_edp.cpp.o.d"
+  "fig09b_power_gating_edp"
+  "fig09b_power_gating_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09b_power_gating_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

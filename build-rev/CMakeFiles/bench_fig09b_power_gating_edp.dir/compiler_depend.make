@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09b_power_gating_edp.
+# This may be replaced when dependencies are built.

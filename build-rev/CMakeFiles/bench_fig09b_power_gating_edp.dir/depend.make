@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09b_power_gating_edp.
+# This may be replaced when dependencies are built.

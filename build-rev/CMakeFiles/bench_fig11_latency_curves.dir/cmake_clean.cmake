@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_latency_curves.dir/bench/fig11_latency_curves.cpp.o"
+  "CMakeFiles/bench_fig11_latency_curves.dir/bench/fig11_latency_curves.cpp.o.d"
+  "fig11_latency_curves"
+  "fig11_latency_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_latency_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_workloads.dir/bench/fig12_workloads.cpp.o"
+  "CMakeFiles/bench_fig12_workloads.dir/bench/fig12_workloads.cpp.o.d"
+  "fig12_workloads"
+  "fig12_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_features.dir/bench/table2_features.cpp.o"
+  "CMakeFiles/bench_table2_features.dir/bench/table2_features.cpp.o.d"
+  "table2_features"
+  "table2_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_capacity_scaling.dir/examples/capacity_scaling.cpp.o"
+  "CMakeFiles/example_capacity_scaling.dir/examples/capacity_scaling.cpp.o.d"
+  "capacity_scaling"
+  "capacity_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_capacity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

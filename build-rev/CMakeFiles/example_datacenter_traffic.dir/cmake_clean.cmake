@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_traffic.dir/examples/datacenter_traffic.cpp.o"
+  "CMakeFiles/example_datacenter_traffic.dir/examples/datacenter_traffic.cpp.o.d"
+  "datacenter_traffic"
+  "datacenter_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_management.dir/examples/power_management.cpp.o"
+  "CMakeFiles/example_power_management.dir/examples/power_management.cpp.o.d"
+  "power_management"
+  "power_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinates.cpp" "CMakeFiles/sf_core.dir/src/core/coordinates.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/coordinates.cpp.o.d"
+  "/root/repo/src/core/greedy_router.cpp" "CMakeFiles/sf_core.dir/src/core/greedy_router.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/greedy_router.cpp.o.d"
+  "/root/repo/src/core/reconfig.cpp" "CMakeFiles/sf_core.dir/src/core/reconfig.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/reconfig.cpp.o.d"
+  "/root/repo/src/core/routing_table.cpp" "CMakeFiles/sf_core.dir/src/core/routing_table.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/routing_table.cpp.o.d"
+  "/root/repo/src/core/string_figure.cpp" "CMakeFiles/sf_core.dir/src/core/string_figure.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/string_figure.cpp.o.d"
+  "/root/repo/src/core/topology_builder.cpp" "CMakeFiles/sf_core.dir/src/core/topology_builder.cpp.o" "gcc" "CMakeFiles/sf_core.dir/src/core/topology_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

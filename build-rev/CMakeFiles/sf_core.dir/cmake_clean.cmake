@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/src/core/coordinates.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/coordinates.cpp.o.d"
+  "CMakeFiles/sf_core.dir/src/core/greedy_router.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/greedy_router.cpp.o.d"
+  "CMakeFiles/sf_core.dir/src/core/reconfig.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/reconfig.cpp.o.d"
+  "CMakeFiles/sf_core.dir/src/core/routing_table.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/routing_table.cpp.o.d"
+  "CMakeFiles/sf_core.dir/src/core/string_figure.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/string_figure.cpp.o.d"
+  "CMakeFiles/sf_core.dir/src/core/topology_builder.cpp.o"
+  "CMakeFiles/sf_core.dir/src/core/topology_builder.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

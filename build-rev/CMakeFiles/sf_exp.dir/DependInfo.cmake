@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/diff.cpp" "CMakeFiles/sf_exp.dir/src/exp/diff.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/diff.cpp.o.d"
+  "/root/repo/src/exp/driver.cpp" "CMakeFiles/sf_exp.dir/src/exp/driver.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/driver.cpp.o.d"
+  "/root/repo/src/exp/experiments/ablations.cpp" "CMakeFiles/sf_exp.dir/src/exp/experiments/ablations.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/experiments/ablations.cpp.o.d"
+  "/root/repo/src/exp/experiments/micro.cpp" "CMakeFiles/sf_exp.dir/src/exp/experiments/micro.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/experiments/micro.cpp.o.d"
+  "/root/repo/src/exp/experiments/structure.cpp" "CMakeFiles/sf_exp.dir/src/exp/experiments/structure.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/experiments/structure.cpp.o.d"
+  "/root/repo/src/exp/experiments/traffic.cpp" "CMakeFiles/sf_exp.dir/src/exp/experiments/traffic.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/experiments/traffic.cpp.o.d"
+  "/root/repo/src/exp/experiments/workloads.cpp" "CMakeFiles/sf_exp.dir/src/exp/experiments/workloads.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/experiments/workloads.cpp.o.d"
+  "/root/repo/src/exp/json.cpp" "CMakeFiles/sf_exp.dir/src/exp/json.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/json.cpp.o.d"
+  "/root/repo/src/exp/registry.cpp" "CMakeFiles/sf_exp.dir/src/exp/registry.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/registry.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "CMakeFiles/sf_exp.dir/src/exp/report.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/report.cpp.o.d"
+  "/root/repo/src/exp/run_store.cpp" "CMakeFiles/sf_exp.dir/src/exp/run_store.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/run_store.cpp.o.d"
+  "/root/repo/src/exp/scheduler.cpp" "CMakeFiles/sf_exp.dir/src/exp/scheduler.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/scheduler.cpp.o.d"
+  "/root/repo/src/exp/work_pool.cpp" "CMakeFiles/sf_exp.dir/src/exp/work_pool.cpp.o" "gcc" "CMakeFiles/sf_exp.dir/src/exp/work_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/sf_topos.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_mem.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

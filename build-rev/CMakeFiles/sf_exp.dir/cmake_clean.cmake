@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_exp.dir/src/exp/diff.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/diff.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/driver.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/driver.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/ablations.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/ablations.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/micro.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/micro.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/structure.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/structure.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/traffic.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/traffic.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/workloads.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/experiments/workloads.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/json.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/json.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/registry.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/registry.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/report.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/report.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/run_store.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/run_store.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/scheduler.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/scheduler.cpp.o.d"
+  "CMakeFiles/sf_exp.dir/src/exp/work_pool.cpp.o"
+  "CMakeFiles/sf_exp.dir/src/exp/work_pool.cpp.o.d"
+  "libsf_exp.a"
+  "libsf_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_mem.dir/src/mem/power_manager.cpp.o"
+  "CMakeFiles/sf_mem.dir/src/mem/power_manager.cpp.o.d"
+  "libsf_mem.a"
+  "libsf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

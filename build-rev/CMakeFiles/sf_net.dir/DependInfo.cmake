@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bisection.cpp" "CMakeFiles/sf_net.dir/src/net/bisection.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/bisection.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "CMakeFiles/sf_net.dir/src/net/graph.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/graph.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "CMakeFiles/sf_net.dir/src/net/paths.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/paths.cpp.o.d"
+  "/root/repo/src/net/placement.cpp" "CMakeFiles/sf_net.dir/src/net/placement.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/placement.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "CMakeFiles/sf_net.dir/src/net/topology.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/topology.cpp.o.d"
+  "/root/repo/src/net/topology_cache.cpp" "CMakeFiles/sf_net.dir/src/net/topology_cache.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/topology_cache.cpp.o.d"
+  "/root/repo/src/net/updown.cpp" "CMakeFiles/sf_net.dir/src/net/updown.cpp.o" "gcc" "CMakeFiles/sf_net.dir/src/net/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

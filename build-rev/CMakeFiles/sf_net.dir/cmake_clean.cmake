@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_net.dir/src/net/bisection.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/bisection.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/graph.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/graph.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/paths.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/paths.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/placement.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/placement.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/topology.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/topology.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/topology_cache.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/topology_cache.cpp.o.d"
+  "CMakeFiles/sf_net.dir/src/net/updown.cpp.o"
+  "CMakeFiles/sf_net.dir/src/net/updown.cpp.o.d"
+  "libsf_net.a"
+  "libsf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cpp" "CMakeFiles/sf_sim.dir/src/sim/executor.cpp.o" "gcc" "CMakeFiles/sf_sim.dir/src/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/sf_sim.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/sf_sim.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/sf_sim.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/sf_sim.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "CMakeFiles/sf_sim.dir/src/sim/traffic.cpp.o" "gcc" "CMakeFiles/sf_sim.dir/src/sim/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/src/sim/executor.cpp.o"
+  "CMakeFiles/sf_sim.dir/src/sim/executor.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/src/sim/network.cpp.o"
+  "CMakeFiles/sf_sim.dir/src/sim/network.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/src/sim/simulator.cpp.o"
+  "CMakeFiles/sf_sim.dir/src/sim/simulator.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/src/sim/traffic.cpp.o"
+  "CMakeFiles/sf_sim.dir/src/sim/traffic.cpp.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

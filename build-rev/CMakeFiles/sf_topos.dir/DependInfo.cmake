@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topos/factory.cpp" "CMakeFiles/sf_topos.dir/src/topos/factory.cpp.o" "gcc" "CMakeFiles/sf_topos.dir/src/topos/factory.cpp.o.d"
+  "/root/repo/src/topos/flattened_butterfly.cpp" "CMakeFiles/sf_topos.dir/src/topos/flattened_butterfly.cpp.o" "gcc" "CMakeFiles/sf_topos.dir/src/topos/flattened_butterfly.cpp.o.d"
+  "/root/repo/src/topos/jellyfish.cpp" "CMakeFiles/sf_topos.dir/src/topos/jellyfish.cpp.o" "gcc" "CMakeFiles/sf_topos.dir/src/topos/jellyfish.cpp.o.d"
+  "/root/repo/src/topos/mesh.cpp" "CMakeFiles/sf_topos.dir/src/topos/mesh.cpp.o" "gcc" "CMakeFiles/sf_topos.dir/src/topos/mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build-rev/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

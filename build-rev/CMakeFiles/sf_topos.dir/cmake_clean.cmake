@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_topos.dir/src/topos/factory.cpp.o"
+  "CMakeFiles/sf_topos.dir/src/topos/factory.cpp.o.d"
+  "CMakeFiles/sf_topos.dir/src/topos/flattened_butterfly.cpp.o"
+  "CMakeFiles/sf_topos.dir/src/topos/flattened_butterfly.cpp.o.d"
+  "CMakeFiles/sf_topos.dir/src/topos/jellyfish.cpp.o"
+  "CMakeFiles/sf_topos.dir/src/topos/jellyfish.cpp.o.d"
+  "CMakeFiles/sf_topos.dir/src/topos/mesh.cpp.o"
+  "CMakeFiles/sf_topos.dir/src/topos/mesh.cpp.o.d"
+  "libsf_topos.a"
+  "libsf_topos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_topos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

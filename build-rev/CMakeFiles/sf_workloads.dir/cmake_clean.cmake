@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workloads.dir/src/workloads/cache_model.cpp.o"
+  "CMakeFiles/sf_workloads.dir/src/workloads/cache_model.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/src/workloads/generators.cpp.o"
+  "CMakeFiles/sf_workloads.dir/src/workloads/generators.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/src/workloads/replay.cpp.o"
+  "CMakeFiles/sf_workloads.dir/src/workloads/replay.cpp.o.d"
+  "libsf_workloads.a"
+  "libsf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sf_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfx.dir/src/exp/sfx.cpp.o"
+  "CMakeFiles/sfx.dir/src/exp/sfx.cpp.o.d"
+  "sfx"
+  "sfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bisection.dir/tests/test_bisection.cpp.o"
+  "CMakeFiles/test_bisection.dir/tests/test_bisection.cpp.o.d"
+  "test_bisection"
+  "test_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diff.dir/tests/test_diff.cpp.o"
+  "CMakeFiles/test_diff.dir/tests/test_diff.cpp.o.d"
+  "test_diff"
+  "test_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

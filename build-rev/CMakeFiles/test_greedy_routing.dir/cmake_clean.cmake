@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_routing.dir/tests/test_greedy_routing.cpp.o"
+  "CMakeFiles/test_greedy_routing.dir/tests/test_greedy_routing.cpp.o.d"
+  "test_greedy_routing"
+  "test_greedy_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconfig.dir/tests/test_reconfig.cpp.o"
+  "CMakeFiles/test_reconfig.dir/tests/test_reconfig.cpp.o.d"
+  "test_reconfig"
+  "test_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

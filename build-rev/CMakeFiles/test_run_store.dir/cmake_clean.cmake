@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_store.dir/tests/test_run_store.cpp.o"
+  "CMakeFiles/test_run_store.dir/tests/test_run_store.cpp.o.d"
+  "test_run_store"
+  "test_run_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_builder.dir/tests/test_topology_builder.cpp.o"
+  "CMakeFiles/test_topology_builder.dir/tests/test_topology_builder.cpp.o.d"
+  "test_topology_builder"
+  "test_topology_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

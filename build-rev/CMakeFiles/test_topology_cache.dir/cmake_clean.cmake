@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_cache.dir/tests/test_topology_cache.cpp.o"
+  "CMakeFiles/test_topology_cache.dir/tests/test_topology_cache.cpp.o.d"
+  "test_topology_cache"
+  "test_topology_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

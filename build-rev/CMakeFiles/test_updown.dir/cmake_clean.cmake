@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updown.dir/tests/test_updown.cpp.o"
+  "CMakeFiles/test_updown.dir/tests/test_updown.cpp.o.d"
+  "test_updown"
+  "test_updown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
