@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Thin wrapper over the sf::exp registry: runs the
+ * cycle-engine hot-path benchmark — the same grid
+ * `sfx run 'micro_simulator'` executes, with --jobs/--out/--effort
+ * available here too.
+ */
+
+#include "exp/driver.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return sf::exp::benchMain("micro_simulator", argc, argv);
+}

@@ -11,23 +11,28 @@ GreedyRouter::distance(NodeId u, NodeId t) const
     const VirtualSpaces &vs = data_->spaces;
     const bool directed =
         data_->params.linkMode == LinkMode::Unidirectional;
+    // One row fetch per node, not one per space: this runs a few
+    // hundred times per forwarding decision.
+    const std::vector<Coord> &cu = vs.coords(u);
+    const std::vector<Coord> &ct = vs.coords(t);
+    const std::size_t spaces = cu.size();
     Coord best = 2.0;
-    for (int s = 0; s < vs.numSpaces(); ++s) {
-        const Coord cu = vs.coord(u, s);
-        const Coord ct = vs.coord(t, s);
-        const Coord d = directed ? clockwiseDistance(cu, ct)
-                                 : circularDistance(cu, ct);
+    for (std::size_t s = 0; s < spaces; ++s) {
+        const Coord d = directed ? clockwiseDistance(cu[s], ct[s])
+                                 : circularDistance(cu[s], ct[s]);
         if (d < best)
             best = d;
     }
     return best;
 }
 
-void
+std::size_t
 GreedyRouter::candidates(NodeId current, NodeId dest, bool widen,
-                         std::vector<LinkId> &out) const
+                         std::span<LinkId> out) const
 {
     assert(current != dest);
+    if (out.empty())
+        return 0;
     const RoutingTable &table = tables_->table(current);
     const Coord md_here = distance(current, dest);
 
@@ -48,31 +53,36 @@ GreedyRouter::candidates(NodeId current, NodeId dest, bool widen,
         Coord planValue;  ///< best MD in this plan
         bool qualifies;   ///< some target strictly improves
     };
-    // Routing tables hold at most p(p+1) entries; the candidate set
-    // is tiny, so a local vector is fine.
-    std::vector<Ranked> plans;
+    // One plan per one-hop entry: a fixed stack array keeps the
+    // per-hop fast path allocation-free.
+    Ranked plans[kMaxPlans];
+    std::size_t num_plans = 0;
     for (const TableEntry &e : table.entries()) {
         if (e.hops != 1 || !e.usable())
             continue;
         if (e.node == dest) {
             // Direct delivery always wins outright.
-            out.clear();
-            out.push_back(e.viaLink);
-            return;
+            out[0] = e.viaLink;
+            return 1;
         }
+        assert(num_plans < kMaxPlans);
+        if (num_plans >= kMaxPlans)
+            continue;
         const Coord md = distance(e.node, dest);
-        plans.push_back(
-            Ranked{e.viaLink, e.node, md, md, md < md_here});
+        plans[num_plans++] =
+            Ranked{e.viaLink, e.node, md, md, md < md_here};
     }
 
     // Two-hop lookahead: fold each two-hop entry into the plan of
-    // its first-hop link.
-    if (data_->params.twoHopTable) {
+    // its first-hop link. (Nothing to fold into when no one-hop
+    // plan exists, so the distance evaluations are skipped.)
+    if (data_->params.twoHopTable && num_plans > 0) {
         for (const TableEntry &e : table.entries()) {
             if (e.hops != 2 || !e.usable())
                 continue;
             const Coord md = distance(e.node, dest);
-            for (Ranked &plan : plans) {
+            for (std::size_t i = 0; i < num_plans; ++i) {
+                Ranked &plan = plans[i];
                 if (plan.via != e.viaLink)
                     continue;
                 if (md < plan.planValue)
@@ -83,14 +93,16 @@ GreedyRouter::candidates(NodeId current, NodeId dest, bool widen,
         }
     }
 
-    std::erase_if(plans,
-                  [](const Ranked &p) { return !p.qualifies; });
-    if (plans.empty()) {
-        out.clear();
-        return;
-    }
+    num_plans = static_cast<std::size_t>(
+        std::remove_if(plans, plans + num_plans,
+                       [](const Ranked &p) {
+                           return !p.qualifies;
+                       }) -
+        plans);
+    if (num_plans == 0)
+        return 0;
 
-    std::sort(plans.begin(), plans.end(),
+    std::sort(plans, plans + num_plans,
               [](const Ranked &a, const Ranked &b) {
                   if (a.planValue != b.planValue)
                       return a.planValue < b.planValue;
@@ -99,10 +111,11 @@ GreedyRouter::candidates(NodeId current, NodeId dest, bool widen,
                   return a.node < b.node;  // deterministic ties
               });
 
-    out.clear();
-    const std::size_t count = widen ? plans.size() : 1;
+    const std::size_t count =
+        std::min(widen ? num_plans : std::size_t{1}, out.size());
     for (std::size_t i = 0; i < count; ++i)
-        out.push_back(plans[i].via);
+        out[i] = plans[i].via;
+    return count;
 }
 
 } // namespace sf::core

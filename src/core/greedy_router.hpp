@@ -25,7 +25,7 @@
 
 #pragma once
 
-#include <vector>
+#include <span>
 
 #include "core/routing_table.hpp"
 #include "core/topology_builder.hpp"
@@ -36,6 +36,14 @@ namespace sf::core {
 class GreedyRouter
 {
   public:
+    /**
+     * Upper bound on simultaneous first-hop plans: one per one-hop
+     * table entry, i.e. per router out-port. Far above any
+     * configuration this library builds (routerPorts tops out well
+     * below 16 even counting repair wires).
+     */
+    static constexpr std::size_t kMaxPlans = 64;
+
     GreedyRouter(const SFTopologyData &data,
                  const RoutingTables &tables)
         : data_(&data), tables_(&tables)
@@ -46,16 +54,18 @@ class GreedyRouter
     Coord distance(NodeId u, NodeId t) const;
 
     /**
-     * Ranked progress set at @p current for destination @p dest.
-     * Output entries are first-hop link ids; empty means no strictly
+     * Ranked progress set at @p current for destination @p dest,
+     * written into the caller-provided @p out (at most out.size()
+     * entries, best first; allocation-free). Zero means no strictly
      * improving neighbour exists (possible only in degraded
      * reconfiguration states, never on the full topology).
      *
      * @param widen When false, at most one candidate is emitted
      *        (non-adaptive hops commit to the greediest choice).
+     * @return Number of link ids written.
      */
-    void candidates(NodeId current, NodeId dest, bool widen,
-                    std::vector<LinkId> &out) const;
+    std::size_t candidates(NodeId current, NodeId dest, bool widen,
+                           std::span<LinkId> out) const;
 
   private:
     const SFTopologyData *data_;

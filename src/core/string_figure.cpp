@@ -13,12 +13,12 @@ StringFigure::StringFigure(const SFParams &params)
     reconfig_ = std::make_unique<ReconfigEngine>(data_, tables_);
 }
 
-void
+std::size_t
 StringFigure::routeCandidates(NodeId current, NodeId dest,
                               bool first_hop,
-                              std::vector<LinkId> &out) const
+                              std::span<LinkId> out) const
 {
-    router_.candidates(current, dest, first_hop, out);
+    return router_.candidates(current, dest, first_hop, out);
 }
 
 LinkId

@@ -44,8 +44,9 @@ class StringFigure : public net::Topology
     std::string name() const override { return "SF"; }
     const net::Graph &graph() const override { return data_.graph; }
     int routerPorts() const override { return data_.params.routerPorts; }
-    void routeCandidates(NodeId current, NodeId dest, bool first_hop,
-                         std::vector<LinkId> &out) const override;
+    std::size_t routeCandidates(NodeId current, NodeId dest,
+                                bool first_hop,
+                                std::span<LinkId> out) const override;
     LinkId escapeLink(NodeId current, NodeId dest) const override;
     net::EscapeScheme escapeScheme() const override
     {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <vector>
 
@@ -53,6 +54,8 @@ printUsage(std::FILE *to)
         "  sfx run <name|glob>...         run experiments\n"
         "  sfx resume <dir>               finish a checkpointed "
         "run\n"
+        "  sfx checkpoint status <dir>    completed/pending/stale "
+        "counts\n"
         "  sfx diff <base.json> <new.json>  compare two reports\n"
         "\n"
         "run options:\n"
@@ -90,7 +93,13 @@ printUsage(std::FILE *to)
         "  --bless        overwrite <base.json> with <new.json>'s "
         "bytes\n"
         "                 (regenerate a committed baseline in "
-        "place)\n",
+        "place)\n"
+        "\n"
+        "checkpoint status options:\n"
+        "  --json         structured sf-exp-checkpoint-status-v1 "
+        "output\n"
+        "(exit 0 when every planned run is stored, 3 when runs "
+        "are pending)\n",
         static_cast<unsigned long long>(kBaseSeed));
 }
 
@@ -231,6 +240,25 @@ doList()
     return 0;
 }
 
+/**
+ * Plan one experiment's run grid and apply the `--runs` id filter —
+ * the single definition of "which runs does this invocation
+ * execute", shared by `sfx run`/`resume` (via doRun) and
+ * `sfx checkpoint status` so the two can never plan different
+ * grids.
+ */
+std::vector<RunSpec>
+plannedRuns(const ExperimentSpec &spec, const PlanContext &plan_ctx,
+            const std::string &run_filter)
+{
+    auto runs = spec.plan(plan_ctx);
+    if (!run_filter.empty())
+        std::erase_if(runs, [&](const RunSpec &run) {
+            return !globMatch(run_filter, run.id);
+        });
+    return runs;
+}
+
 int
 doRun(const CliOptions &opts)
 {
@@ -255,12 +283,7 @@ doRun(const CliOptions &opts)
 
     // Plan every matched experiment, applying the run-id filter.
     const auto plan_runs = [&](const ExperimentSpec *spec) {
-        auto runs = spec->plan(plan_ctx);
-        if (!opts.runFilter.empty())
-            std::erase_if(runs, [&](const RunSpec &run) {
-                return !globMatch(opts.runFilter, run.id);
-            });
-        return runs;
+        return plannedRuns(*spec, plan_ctx, opts.runFilter);
     };
 
     if (opts.listRuns) {
@@ -441,6 +464,23 @@ doRun(const CliOptions &opts)
 }
 
 /**
+ * Load the sweep-defining fields (patterns, effort, base seed, run
+ * filter) of a checkpoint's meta.json into @p opts — the single
+ * source of truth for what a checkpointed invocation plans, shared
+ * by `sfx resume` and `sfx checkpoint status` so the two can never
+ * re-plan different grids. Throws on a non-checkpoint directory.
+ */
+void
+optionsFromMeta(const std::string &dir, CliOptions &opts)
+{
+    const Json meta = RunStore::readInvocationMeta(dir);
+    opts.patterns = {meta.at("patterns").asString()};
+    opts.effort = parseEffort(meta.at("effort").asString());
+    opts.baseSeed = meta.at("base_seed").asUint();
+    opts.runFilter = meta.at("run_filter").asString();
+}
+
+/**
  * `sfx resume DIR`: re-enter an interrupted `sfx run --checkpoint
  * DIR` invocation. What to run (patterns, effort, base seed, run
  * filter) comes from the checkpoint's meta.json so the resumed
@@ -468,11 +508,7 @@ doResume(int argc, char **argv)
                          /*execution_knobs_only=*/true))
         return opts.helpShown ? 0 : 2;
     try {
-        const Json meta = RunStore::readInvocationMeta(dir);
-        opts.patterns = {meta.at("patterns").asString()};
-        opts.effort = parseEffort(meta.at("effort").asString());
-        opts.baseSeed = meta.at("base_seed").asUint();
-        opts.runFilter = meta.at("run_filter").asString();
+        optionsFromMeta(dir, opts);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sfx: %s\n", e.what());
         return 2;
@@ -561,6 +597,172 @@ doDiff(int argc, char **argv)
     }
 }
 
+/**
+ * `sfx checkpoint status DIR`: classify every run the checkpointed
+ * invocation plans against the entries on disk — completed (valid
+ * under the current spec hash), stale (outdated key, will re-run),
+ * corrupt (checksum/parse failure, will re-run), pending (no usable
+ * entry) — plus the quarantine backlog and the journal event tally.
+ * Read-only: inspecting never quarantines or journals, so a status
+ * check can never change what a later `sfx resume` observes.
+ */
+int
+doCheckpointStatus(const std::string &dir, bool json_out)
+{
+    namespace fs = std::filesystem;
+    CliOptions opts;
+    try {
+        optionsFromMeta(dir, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfx: %s\n", e.what());
+        return 2;
+    }
+    const auto specs = registry().match(opts.patterns[0]);
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "sfx: checkpoint %s plans '%s', which matches "
+                     "no registered experiment\n",
+                     dir.c_str(), opts.patterns[0].c_str());
+        return 2;
+    }
+    RunStore store(dir);
+
+    PlanContext plan_ctx;
+    plan_ctx.effort = opts.effort;
+    plan_ctx.baseSeed = opts.baseSeed;
+
+    struct Row {
+        std::string name;
+        std::size_t planned = 0;
+        std::size_t completed = 0;
+        std::size_t stale = 0;
+        std::size_t corrupt = 0;
+
+        std::size_t
+        pending() const
+        {
+            return planned - completed;
+        }
+    };
+    std::vector<Row> rows;
+    Row total{"total"};
+    for (const ExperimentSpec *spec : specs) {
+        const auto runs =
+            plannedRuns(*spec, plan_ctx, opts.runFilter);
+        if (runs.empty() && !opts.runFilter.empty())
+            continue;  // as `sfx run` skips filtered-out specs
+        Row row{spec->name};
+        // Key construction mirrors the scheduler's store lookup
+        // (scheduler.cpp): same specHash over the same planned
+        // grid, same deriveSeed inputs.
+        const std::string hash =
+            specHash(*spec, runs, opts.effort, opts.baseSeed);
+        for (const RunSpec &run : runs) {
+            RunStore::Key key{spec->name, run.id,
+                              deriveSeed(spec->name, run.id,
+                                         opts.baseSeed),
+                              hash};
+            ++row.planned;
+            switch (store.inspect(key)) {
+            case RunStore::EntryState::Valid:
+                ++row.completed;
+                break;
+            case RunStore::EntryState::Stale:
+                ++row.stale;
+                break;
+            case RunStore::EntryState::Corrupt:
+                ++row.corrupt;
+                break;
+            case RunStore::EntryState::Missing:
+                break;
+            }
+        }
+        total.planned += row.planned;
+        total.completed += row.completed;
+        total.stale += row.stale;
+        total.corrupt += row.corrupt;
+        rows.push_back(std::move(row));
+    }
+
+    std::size_t quarantined = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(fs::path(dir) / "quarantine",
+                                   ec),
+         end;
+         !ec && it != end; it.increment(ec))
+        ++quarantined;
+
+    // Journal event tally (diagnostic; tolerate a missing or
+    // truncated journal).
+    std::size_t journal_events = 0;
+    Json journal_counts = Json::object();
+    try {
+        const auto lines = Json::parseLines(
+            readFile((fs::path(dir) / "journal.jsonl").string()),
+            /*dropTruncatedTail=*/true);
+        for (const Json &line : lines) {
+            ++journal_events;
+            const Json *event = line.find("event");
+            if (!event || !event->isString())
+                continue;
+            const std::string &name = event->asString();
+            const Json *have = journal_counts.find(name);
+            journal_counts.set(
+                name, (have ? have->asUint() : 0) + 1);
+        }
+    } catch (const std::exception &) {
+    }
+
+    if (json_out) {
+        Json doc = Json::object();
+        doc.set("schema", "sf-exp-checkpoint-status-v1");
+        doc.set("dir", dir);
+        Json experiments = Json::array();
+        const auto row_json = [](const Row &row) {
+            Json r = Json::object();
+            r.set("experiment", row.name);
+            r.set("planned", row.planned);
+            r.set("completed", row.completed);
+            r.set("pending", row.pending());
+            r.set("stale", row.stale);
+            r.set("corrupt", row.corrupt);
+            return r;
+        };
+        for (const Row &row : rows)
+            experiments.push(row_json(row));
+        doc.set("experiments", std::move(experiments));
+        doc.set("total", row_json(total));
+        doc.set("quarantined_files", quarantined);
+        doc.set("journal_events", journal_events);
+        doc.set("journal_event_counts", std::move(journal_counts));
+        std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+    } else {
+        std::size_t width = total.name.size();
+        for (const Row &row : rows)
+            width = std::max(width, row.name.size());
+        std::printf("%-*s  %9s  %9s  %9s  %6s  %7s\n",
+                    static_cast<int>(width), "experiment",
+                    "planned", "completed", "pending", "stale",
+                    "corrupt");
+        const auto print_row = [&](const Row &row) {
+            std::printf("%-*s  %9zu  %9zu  %9zu  %6zu  %7zu\n",
+                        static_cast<int>(width), row.name.c_str(),
+                        row.planned, row.completed, row.pending(),
+                        row.stale, row.corrupt);
+        };
+        for (const Row &row : rows)
+            print_row(row);
+        print_row(total);
+        std::printf("quarantine: %zu file(s); journal: %zu "
+                    "event(s)\n",
+                    quarantined, journal_events);
+        if (total.pending() > 0)
+            std::printf("resume with: sfx resume %s\n",
+                        dir.c_str());
+    }
+    return total.pending() > 0 ? 3 : 0;
+}
+
 } // namespace
 
 int
@@ -577,6 +779,44 @@ sfxMain(int argc, char **argv)
         return doDiff(argc, argv);
     if (command == "resume")
         return doResume(argc, argv);
+    if (command == "checkpoint") {
+        std::string dir;
+        bool json_out = false;
+        bool have_sub = false;
+        for (int i = 2; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--json") {
+                json_out = true;
+            } else if (arg == "--help" || arg == "-h") {
+                printUsage(stdout);
+                return 0;
+            } else if (!have_sub) {
+                if (arg != "status") {
+                    std::fprintf(stderr,
+                                 "sfx: unknown checkpoint "
+                                 "subcommand: %s\n",
+                                 argv[i]);
+                    return 2;
+                }
+                have_sub = true;
+            } else if (dir.empty() && !arg.empty() &&
+                       arg[0] != '-') {
+                dir = arg;
+            } else {
+                std::fprintf(stderr,
+                             "sfx: unexpected argument: %s\n",
+                             argv[i]);
+                return 2;
+            }
+        }
+        if (!have_sub || dir.empty()) {
+            std::fprintf(stderr,
+                         "sfx: usage: sfx checkpoint status "
+                         "<dir> [--json]\n");
+            return 2;
+        }
+        return doCheckpointStatus(dir, json_out);
+    }
     if (command == "run") {
         CliOptions opts;
         if (!parseRunOptions(argc, argv, 2, opts, true))

@@ -20,7 +20,8 @@ void registerTrafficExperiments(Registry &r);
 void registerWorkloadExperiments(Registry &r);
 /** The ablation_* family. */
 void registerAblationExperiments(Registry &r);
-/** micro_routing (wall-clock timings; non-deterministic). */
+/** micro_routing + micro_simulator (wall-clock timings;
+ *  non-deterministic). */
 void registerMicroExperiments(Registry &r);
 
 /** Register every built-in experiment. */

@@ -202,15 +202,12 @@ RunStore::quarantine(const std::string &path, const Key &key)
     logEvent("quarantine", key);
 }
 
-bool
-RunStore::load(const Key &key, RunResult &out)
+RunStore::EntryState
+RunStore::classify(const Key &key, Json *entry_out) const
 {
     const std::string path = entryPath(key.experiment, key.runId);
-    if (!fs::exists(path)) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.misses;
-        return false;
-    }
+    if (!fs::exists(path))
+        return EntryState::Missing;
     Json entry;
     try {
         entry = Json::parse(readFile(path));
@@ -228,13 +225,32 @@ RunStore::load(const Key &key, RunResult &out)
         if (entry.at("check").asString() != checksumOf(entry))
             throw JsonError("checksum mismatch");
     } catch (const std::exception &) {
-        quarantine(path, key);
-        return false;
+        return EntryState::Corrupt;
     }
     if (entry.at("experiment").asString() != key.experiment ||
         entry.at("id").asString() != key.runId ||
         entry.at("seed").asUint() != key.seed ||
-        entry.at("spec_hash").asString() != key.specHash) {
+        entry.at("spec_hash").asString() != key.specHash)
+        return EntryState::Stale;
+    if (entry_out)
+        *entry_out = std::move(entry);
+    return EntryState::Valid;
+}
+
+bool
+RunStore::load(const Key &key, RunResult &out)
+{
+    Json entry;
+    switch (classify(key, &entry)) {
+    case EntryState::Missing: {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    }
+    case EntryState::Corrupt:
+        quarantine(entryPath(key.experiment, key.runId), key);
+        return false;
+    case EntryState::Stale: {
         // Valid entry from an older registry / other invocation:
         // stale, not corrupt. Leave it in place — a fresh result
         // under the current key overwrites it via store().
@@ -243,10 +259,19 @@ RunStore::load(const Key &key, RunResult &out)
         logEvent("stale", key);
         return false;
     }
+    case EntryState::Valid:
+        break;
+    }
     out.metrics = entry.at("metrics");
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
     return true;
+}
+
+RunStore::EntryState
+RunStore::inspect(const Key &key) const
+{
+    return classify(key, nullptr);
 }
 
 void

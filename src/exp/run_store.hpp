@@ -117,6 +117,21 @@ class RunStore {
      */
     bool load(const Key &key, RunResult &out);
 
+    /** Classification of one entry file by inspect(). */
+    enum class EntryState {
+        Missing,  ///< no entry file on disk
+        Valid,    ///< well-formed and keyed by @p key exactly
+        Stale,    ///< well-formed but under an outdated key
+        Corrupt,  ///< unreadable / checksum mismatch
+    };
+
+    /**
+     * Read-only classification of the entry for @p key: unlike
+     * load(), never quarantines, journals, or counts stats — the
+     * status report must not change what a later resume observes.
+     */
+    EntryState inspect(const Key &key) const;
+
     /**
      * Persist a successfully completed run. Failed runs are never
      * stored (they re-execute on resume). Disk errors are counted
@@ -140,6 +155,10 @@ class RunStore {
     std::function<bool(std::size_t attempt)> writeFilter;
 
   private:
+    /** Shared validation behind load() and inspect(): classify the
+     *  entry on disk; on Valid, the parsed entry lands in
+     *  @p entry_out (when non-null). */
+    EntryState classify(const Key &key, Json *entry_out) const;
     void logEvent(const char *event, const Key &key);
     void quarantine(const std::string &path, const Key &key);
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,15 @@
 #include "net/types.hpp"
 
 namespace sf::net {
+
+/**
+ * Candidate capacity the simulator's routing fast path provides:
+ * routeCandidates() writes into a caller-owned span and the flit
+ * simulator sizes it at this many entries (one cache line of the
+ * packet record). Analysis callers may pass larger spans to see the
+ * full ranked set.
+ */
+inline constexpr std::size_t kMaxRouteCandidates = 4;
 
 /** Static feature flags reported in the paper's Table II. */
 struct TopologyFeatures {
@@ -60,16 +70,23 @@ class Topology
      * Candidate output links for a packet at @p current heading to
      * @p dest, in decreasing order of preference. Candidates beyond
      * the first are alternatives an adaptive selector may use.
-     * Empty result means no enabled progress-making link exists
-     * (only possible during/after reconfiguration in degraded modes;
+     * Zero means no enabled progress-making link exists (only
+     * possible during/after reconfiguration in degraded modes;
      * callers fall back or count a stall).
+     *
+     * Writes at most @c out.size() link ids into @p out — the
+     * caller owns the storage, so the per-hop fast path allocates
+     * nothing. Implementations rank internally and emit a prefix:
+     * truncation keeps the best candidates.
      *
      * @param first_hop True at the packet's source router; String
      *        Figure only widens the adaptive choice there.
+     * @return Number of candidates written.
      */
-    virtual void routeCandidates(NodeId current, NodeId dest,
-                                 bool first_hop,
-                                 std::vector<LinkId> &out) const = 0;
+    virtual std::size_t routeCandidates(NodeId current, NodeId dest,
+                                        bool first_hop,
+                                        std::span<LinkId> out)
+        const = 0;
 
     /**
      * Number of deadlock-avoidance virtual-channel classes the
@@ -175,7 +192,7 @@ routedHops(const Topology &topo, NodeId src, NodeId dst)
     if (src == dst)
         return 0;
     const int limit = static_cast<int>(topo.numNodes()) * 4 + 16;
-    std::vector<LinkId> candidates;
+    LinkId candidates[kMaxRouteCandidates];
     NodeId at = src;
     bool escape = false;
     for (int hops = 0; hops < limit; ++hops) {
@@ -183,10 +200,9 @@ routedHops(const Topology &topo, NodeId src, NodeId dst)
             return hops;
         LinkId next = kInvalidLink;
         if (!escape) {
-            candidates.clear();
-            topo.routeCandidates(at, dst, hops == 0, candidates);
-            if (!candidates.empty())
-                next = candidates.front();
+            if (topo.routeCandidates(at, dst, hops == 0,
+                                     candidates) > 0)
+                next = candidates[0];
             else
                 escape = true;
         }

@@ -7,6 +7,17 @@
 
 namespace sf::sim {
 
+namespace {
+
+/** Comparator handed to the std heap algorithms: min-heap on at.
+ *  Must stay at-only — the equal-key permutation the std heap
+ *  produces is part of the engine's deterministic behaviour. */
+const auto kLaterFirst = [](const auto &a, const auto &b) {
+    return a > b;
+};
+
+} // namespace
+
 NetworkModel::NetworkModel(const net::Topology &topo,
                            const SimConfig &cfg)
     : topo_(&topo), cfg_(cfg),
@@ -18,22 +29,42 @@ NetworkModel::NetworkModel(const net::Topology &topo,
     linkBusyUntil_.assign(links, 0);
     outputGrantAt_.assign(links, Cycle(-1));
     inputGrantAt_.assign(links, Cycle(-1));
-    inputs_.resize(links);
-    for (auto &unit : inputs_)
-        unit.resize(static_cast<std::size_t>(totalVcs()));
+    vcs_.resize(links * static_cast<std::size_t>(totalVcs()));
+    for (LinkId l = 0; l < static_cast<LinkId>(links); ++l) {
+        for (int v = 0; v < totalVcs(); ++v) {
+            VcState &vc = vcs_[vcStateIndex(l, v)];
+            vc.link = l;
+            vc.vcIndex = static_cast<std::uint16_t>(v);
+        }
+    }
     sourceQueue_.resize(n);
     sourceBusyUntil_.assign(n, 0);
     ejectBusyUntil_.assign(n, 0);
     pendingArrivals_.assign(n, 0);
     activeVcs_.resize(n);
-    nodeActive_.assign(n, false);
+    nodeActive_.assign(n, 0);
+}
+
+void
+NetworkModel::pushArrival(std::vector<Arrival> &heap, Arrival a)
+{
+    heap.push_back(a);
+    std::push_heap(heap.begin(), heap.end(), kLaterFirst);
+}
+
+void
+NetworkModel::popArrival(std::vector<Arrival> &heap)
+{
+    std::pop_heap(heap.begin(), heap.end(), kLaterFirst);
+    heap.pop_back();
 }
 
 void
 NetworkModel::inject(NodeId src, NodeId dst, int flits, MsgClass mc,
                      Cycle now, std::uint64_t payload, bool measured)
 {
-    Packet p;
+    const std::uint32_t slot = pool_.alloc();
+    Packet &p = pool_.at(slot);
     p.id = nextPacketId_++;
     p.src = src;
     p.dst = dst;
@@ -47,19 +78,14 @@ NetworkModel::inject(NodeId src, NodeId dst, int flits, MsgClass mc,
     stats_.injectedFlits += static_cast<std::uint64_t>(flits);
     if (src == dst) {
         // Local access: the terminal port loops straight back.
-        deliverLocal(std::move(p), now + 1);
+        p.enteredNetworkAt = p.createdAt;
+        pushArrival(localDeliveries_,
+                    Arrival{now + 1, slot, kInvalidLink, 0});
         return;
     }
-    sourceQueue_[src].push_back(std::move(p));
+    sourceQueue_[src].push(pool_, slot);
+    ++sourceBacklog_;
     activateNode(src);
-}
-
-void
-NetworkModel::deliverLocal(Packet &&p, Cycle at)
-{
-    p.enteredNetworkAt = p.createdAt;
-    localDeliveries_.push(
-        Arrival{at, kInvalidLink, 0, std::move(p)});
 }
 
 std::uint64_t
@@ -69,27 +95,32 @@ NetworkModel::inFlight() const
            dropped_;
 }
 
-std::uint64_t
-NetworkModel::sourceQueueBacklog() const
-{
-    std::uint64_t total = 0;
-    for (const auto &q : sourceQueue_)
-        total += q.size();
-    return total;
-}
-
 bool
 NetworkModel::nodeQuiescent(NodeId u) const
 {
     if (!sourceQueue_[u].empty() || pendingArrivals_[u] > 0)
         return false;
     for (LinkId id : topo_->graph().inLinks(u)) {
-        for (const auto &vc : inputs_[id]) {
-            if (vc.flitsReserved > 0)
+        for (int v = 0; v < totalVcs(); ++v) {
+            if (vcs_[vcStateIndex(id, v)].flitsReserved > 0)
                 return false;
         }
     }
     return true;
+}
+
+NetworkModel::Accounting
+NetworkModel::audit() const
+{
+    Accounting acc;
+    for (const PacketFifo &q : sourceQueue_)
+        acc.sourceQueued += q.size;
+    for (const VcState &vc : vcs_)
+        acc.vcBuffered += vc.fifo.size;
+    acc.onLinks = arrivals_.size();
+    acc.localPending = localDeliveries_.size();
+    acc.liveSlots = pool_.liveCount();
+    return acc;
 }
 
 void
@@ -112,20 +143,11 @@ NetworkModel::ensureEscapeTables() const
                                                    alive);
 }
 
-double
-NetworkModel::downstreamOccupancy(LinkId link, int vc_index) const
-{
-    const auto &vc = inputs_[link][static_cast<std::size_t>(
-        vc_index)];
-    return static_cast<double>(vc.flitsReserved) /
-           static_cast<double>(cfg_.vcDepth);
-}
-
 void
 NetworkModel::activateNode(NodeId node)
 {
     if (!nodeActive_[node]) {
-        nodeActive_[node] = true;
+        nodeActive_[node] = 1;
         activeNodes_.push_back(node);
     }
 }
@@ -135,29 +157,34 @@ NetworkModel::step(Cycle now)
 {
     // 1. Land arrivals whose last flit reached the downstream
     //    buffer (space was reserved at grant time).
-    while (!arrivals_.empty() && arrivals_.top().at <= now) {
-        const Arrival &top = arrivals_.top();
+    while (!arrivals_.empty() && arrivals_.front().at <= now) {
+        const Arrival top = arrivals_.front();
+        popArrival(arrivals_);
         const NodeId at_node = topo_->graph().link(top.link).dst;
-        auto &vc = inputs_[top.link][static_cast<std::size_t>(
-            top.vcIndex)];
-        if (vc.queue.empty())
+        const std::size_t flat =
+            vcStateIndex(top.link, top.vcIndex);
+        VcState &vc = vcs_[flat];
+        if (vc.fifo.empty())
             vc.headSince = now;
-        vc.queue.push_back(top.packet);
+        vc.fifo.push(pool_, top.slot);
         --pendingArrivals_[at_node];
-        auto &active = activeVcs_[at_node];
-        const auto key = std::pair(top.link, top.vcIndex);
-        if (std::find(active.begin(), active.end(), key) ==
-            active.end())
-            active.push_back(key);
+        if (!vc.inActiveList) {
+            vc.inActiveList = true;
+            activeVcs_[at_node].push_back(
+                static_cast<std::uint32_t>(flat));
+        }
         activateNode(at_node);
-        arrivals_.pop();
     }
-    // Local loopback deliveries.
+    // Local loopback deliveries. The handler runs before the heap
+    // pop (as the historical engine did): it may inject new local
+    // packets, whose strictly later arrival cycles cannot displace
+    // the entry being delivered from the heap front.
     while (!localDeliveries_.empty() &&
-           localDeliveries_.top().at <= now) {
-        recordDelivery(localDeliveries_.top().packet,
-                       localDeliveries_.top().at);
-        localDeliveries_.pop();
+           localDeliveries_.front().at <= now) {
+        const Arrival top = localDeliveries_.front();
+        recordDelivery(pool_.at(top.slot), top.at);
+        popArrival(localDeliveries_);
+        pool_.release(top.slot);
     }
 
     // 2. Arbitrate all routers with pending work.
@@ -165,7 +192,7 @@ NetworkModel::step(Cycle now)
         const NodeId node = activeNodes_[i];
         arbitrateNode(node, now);
         if (activeVcs_[node].empty() && sourceQueue_[node].empty()) {
-            nodeActive_[node] = false;
+            nodeActive_[node] = 0;
             activeNodes_[i] = activeNodes_.back();
             activeNodes_.pop_back();
         } else {
@@ -196,21 +223,23 @@ NetworkModel::arbitrateNode(NodeId node, Cycle now)
 
     for (std::size_t k = 0; k < active.size();) {
         const std::size_t idx = (start + k) % active.size();
-        const auto [link, vc_index] = active[idx];
-        auto &vc = inputs_[link][static_cast<std::size_t>(vc_index)];
-        if (vc.queue.empty()) {
+        VcState &vc = vcs_[active[idx]];
+        if (vc.fifo.empty()) {
             // Lazy deactivation (swap-remove preserves round-robin
             // closely enough).
+            vc.inActiveList = false;
             active[idx] = active.back();
             active.pop_back();
             continue;
         }
+        const LinkId link = vc.link;
         // One crossbar pass per input port per cycle.
         if (inputGrantAt_[link] == now) {
             ++k;
             continue;
         }
-        Packet &p = vc.queue.front();
+        const std::uint32_t slot = vc.fifo.head;
+        Packet &p = pool_.at(slot);
         // Escalate to the escape VC after a long head-of-line wait.
         if (!p.escape && now - vc.headSince > cfg_.escapeThreshold) {
             p.escape = true;
@@ -220,48 +249,57 @@ NetworkModel::arbitrateNode(NodeId node, Cycle now)
         }
         if (!p.routed && !computeRoute(node, p, now)) {
             // Destination unreachable (gated): drop the packet.
-            const Packet dropped_packet = p;
             vc.flitsReserved -= p.flits;
-            vc.queue.pop_front();
+            vc.fifo.pop(pool_);
             vc.headSince = now;
             ++dropped_;
             ++stats_.droppedUnroutable;
             lastProgress_ = now;
             if (onDrop_)
-                onDrop_(dropped_packet, now);
+                onDrop_(p, now);
+            pool_.release(slot);
             continue;
         }
-        if (tryForward(node, p, now)) {
+        if (tryForward(node, p, slot, now)) {
+            const bool ejected = p.dst == node;
             inputGrantAt_[link] = now;
             vc.flitsReserved -= p.flits;
-            vc.queue.pop_front();
+            vc.fifo.pop(pool_);
             vc.headSince = now;
             lastProgress_ = now;
+            if (ejected)
+                pool_.release(slot);
         }
         ++k;
     }
 
     // Terminal port: inject at most one packet per cycle, at one
     // flit per cycle serialisation.
-    auto &source = sourceQueue_[node];
+    PacketFifo &source = sourceQueue_[node];
     if (!source.empty() && sourceBusyUntil_[node] <= now) {
-        Packet &p = source.front();
+        const std::uint32_t slot = source.head;
+        Packet &p = pool_.at(slot);
         if (!p.routed && !computeRoute(node, p, now)) {
-            const Packet dropped_packet = p;
             ++dropped_;
             ++stats_.droppedUnroutable;
-            source.pop_front();
+            source.pop(pool_);
+            --sourceBacklog_;
             lastProgress_ = now;
             if (onDrop_)
-                onDrop_(dropped_packet, now);
+                onDrop_(p, now);
+            pool_.release(slot);
             return;
         }
         if (p.routed) {
             p.enteredNetworkAt = now;
-            if (tryForward(node, p, now)) {
+            if (tryForward(node, p, slot, now)) {
                 sourceBusyUntil_[node] = now + p.flits;
-                source.pop_front();
+                source.pop(pool_);
+                --sourceBacklog_;
                 lastProgress_ = now;
+                // Source packets never have dst == node (inject
+                // short-circuits those), so the packet moved into
+                // the arrival queue — the slot stays live.
             }
         }
     }
@@ -282,13 +320,11 @@ NetworkModel::computeRoute(NodeId node, Packet &p, Cycle now)
     }
 
     if (!p.escape) {
-        std::vector<LinkId> candidates;
-        topo_->routeCandidates(node, p.dst, p.hops == 0, candidates);
-        if (!candidates.empty()) {
-            const auto count = std::min<std::size_t>(
-                candidates.size(), Packet::kMaxCandidates);
-            for (std::size_t i = 0; i < count; ++i)
-                p.candidates[i] = candidates[i];
+        // Zero-copy fast path: candidates land directly in the
+        // packet record.
+        const std::size_t count = topo_->routeCandidates(
+            node, p.dst, p.hops == 0, p.candidates);
+        if (count > 0) {
             p.numCandidates = static_cast<std::uint8_t>(count);
             p.routed = true;
             return true;
@@ -316,7 +352,8 @@ NetworkModel::computeRoute(NodeId node, Packet &p, Cycle now)
 }
 
 bool
-NetworkModel::tryForward(NodeId node, Packet &p, Cycle now)
+NetworkModel::tryForward(NodeId node, Packet &p, std::uint32_t slot,
+                         Cycle now)
 {
     // Ejection at the destination.
     if (p.dst == node) {
@@ -324,14 +361,17 @@ NetworkModel::tryForward(NodeId node, Packet &p, Cycle now)
             return false;
         ejectBusyUntil_[node] = now + p.flits;
         recordDelivery(p, now + p.flits);
-        return true;
+        return true;  // caller releases the slot
     }
 
-    // Collect currently grantable candidates.
+    // Collect currently grantable candidates. The downstream VC is
+    // a function of the packet alone, so it is hoisted out of the
+    // candidate scan.
     LinkId usable[Packet::kMaxCandidates];
     double occupancy[Packet::kMaxCandidates];
     int usable_count = 0;
     bool stale = false;
+    const int want_vc = downstreamVcIndex(p);
     for (int i = 0; i < p.numCandidates; ++i) {
         const LinkId link = p.candidates[i];
         const net::Link &l = topo_->graph().link(link);
@@ -342,13 +382,13 @@ NetworkModel::tryForward(NodeId node, Packet &p, Cycle now)
         if (linkBusyUntil_[link] > now || outputGrantAt_[link] == now)
             continue;
         // Virtual cut-through: room for the entire packet downstream.
-        const int dvc = downstreamVcIndex(p);
-        const auto &down = inputs_[link][static_cast<std::size_t>(
-            dvc)];
+        const VcState &down = vcs_[vcStateIndex(link, want_vc)];
         if (down.flitsReserved + p.flits > cfg_.vcDepth)
             continue;
         usable[usable_count] = link;
-        occupancy[usable_count] = downstreamOccupancy(link, dvc);
+        occupancy[usable_count] =
+            static_cast<double>(down.flitsReserved) /
+            static_cast<double>(cfg_.vcDepth);
         ++usable_count;
     }
     if (stale) {
@@ -372,38 +412,37 @@ NetworkModel::tryForward(NodeId node, Packet &p, Cycle now)
     const LinkId link = usable[pick];
     const net::Link &l = topo_->graph().link(link);
 
-    // Commit the hop.
+    // Commit the hop: the packet mutates in place and its slot
+    // moves from the VC queue to the arrival queue — no copy.
     outputGrantAt_[link] = now;
     linkBusyUntil_[link] = now + p.flits;
 
-    Packet moved = p;
-    moved.hops += 1;
-    moved.routed = false;
-    if (moved.escape) {
+    p.hops += 1;
+    p.routed = false;
+    if (p.escape) {
         ++stats_.escapeHops;
         if (topo_->escapeScheme() == net::EscapeScheme::Ring) {
             if (topo_->ringPosition(l.dst) <
                 topo_->ringPosition(node))
-                moved.escapeVcBit = 1;  // crossed the dateline
+                p.escapeVcBit = 1;  // crossed the dateline
         } else {
             ensureEscapeTables();
             if (!updown_->isUp(link))
-                moved.escapeUpPhase = false;
+                p.escapeUpPhase = false;
         }
     }
-    stats_.flitHops += moved.flits;
-    if (moved.measured) {
+    stats_.flitHops += p.flits;
+    if (p.measured) {
         ++stats_.measuredHops;
-        stats_.measuredFlitHops += moved.flits;
+        stats_.measuredFlitHops += p.flits;
     }
 
-    const int dvc = downstreamVcIndex(moved);
-    inputs_[link][static_cast<std::size_t>(dvc)].flitsReserved +=
-        moved.flits;
+    const int dvc = downstreamVcIndex(p);
+    vcs_[vcStateIndex(link, dvc)].flitsReserved += p.flits;
     ++pendingArrivals_[l.dst];
-    const Cycle arrival = now + moved.flits - 1 + l.latency +
+    const Cycle arrival = now + p.flits - 1 + l.latency +
                           cfg_.serdesCycles;
-    arrivals_.push(Arrival{arrival, link, dvc, std::move(moved)});
+    pushArrival(arrivals_, Arrival{arrival, slot, link, dvc});
     return true;
 }
 

@@ -24,19 +24,39 @@
  * topology's scheme (up*-down* or dateline ring); packets switch to
  * escape after a head-of-line wait threshold and stay there, which
  * keeps the escape network's channel dependencies acyclic.
+ *
+ * Data plane: the hot path is allocation-free in steady state.
+ * Packets live in a slab pool (packet_pool.hpp) and every queue —
+ * source FIFOs, per-VC buffers, the arrival queue — holds 32-bit
+ * slot indices chained intrusively through the pool. Routing writes
+ * candidates straight into the packet record via the span-based
+ * Topology::routeCandidates, so no per-hop vector exists.
+ *
+ * The arrival queue is a binary min-heap of 24-byte entries driven
+ * by std::push_heap / std::pop_heap with the same at-only ordering
+ * the original std::priority_queue<Arrival> used. That keeps the
+ * pop order of same-cycle arrivals bit-for-bit identical to the
+ * historical engine — the tie order is load-bearing, because it
+ * decides the round-robin order of newly activated VCs and routers.
+ * (A cycle-bucketed FIFO calendar ring was prototyped and measured:
+ * it lands O(1) but reorders same-cycle ties, which changes
+ * simulated events and breaks byte-identical reports, so it was
+ * rejected. With pooled packets the heap sifts 24-byte PODs over a
+ * bounded horizon of flits + wire latency + SerDes cycles, so the
+ * sift cost is a few word moves, not ~100-byte Packet copies.)
  */
 
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "net/updown.hpp"
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/stats.hpp"
 
@@ -73,8 +93,12 @@ class NetworkModel
     /** Packets injected but not yet delivered or dropped. */
     std::uint64_t inFlight() const;
 
-    /** Total packets waiting in source queues (saturation signal). */
-    std::uint64_t sourceQueueBacklog() const;
+    /** Total packets waiting in source queues (saturation signal).
+     *  O(1): maintained at inject/dequeue, never recounted. */
+    std::uint64_t sourceQueueBacklog() const
+    {
+        return sourceBacklog_;
+    }
 
     /** No buffered, queued, or in-flight traffic touches @p u. */
     bool nodeQuiescent(NodeId u) const;
@@ -103,20 +127,50 @@ class NetworkModel
     /** The configured topology. */
     const net::Topology &topology() const { return *topo_; }
 
-  private:
-    /** One virtual-channel buffer. */
-    struct VcBuffer {
-        std::deque<Packet> queue;
-        int flitsReserved = 0;  ///< includes packets still in flight
-        Cycle headSince = 0;
+    /**
+     * Where every live packet currently sits — a full walk of the
+     * engine's queues, for conservation-invariant tests. The sum of
+     * the four locations must equal both liveSlots and inFlight()
+     * at every step boundary.
+     */
+    struct Accounting {
+        std::uint64_t sourceQueued = 0;  ///< terminal-port FIFOs
+        std::uint64_t vcBuffered = 0;    ///< per-VC input buffers
+        std::uint64_t onLinks = 0;       ///< arrival queue (in wire)
+        std::uint64_t localPending = 0;  ///< src == dst loopbacks
+        std::uint64_t liveSlots = 0;     ///< pool slots claimed
+
+        std::uint64_t
+        total() const
+        {
+            return sourceQueued + vcBuffered + onLinks +
+                   localPending;
+        }
     };
 
-    /** A packet in flight on a link. */
+    /** Audit packet conservation (walks every queue; test-only). */
+    Accounting audit() const;
+
+  private:
+    /** One virtual-channel input buffer (flat per link x VC). */
+    struct VcState {
+        PacketFifo fifo;
+        int flitsReserved = 0;  ///< includes packets still in flight
+        Cycle headSince = 0;
+        LinkId link = kInvalidLink;    ///< owning input port
+        std::uint16_t vcIndex = 0;     ///< VC within the port
+        bool inActiveList = false;     ///< O(1) activeVcs_ member?
+    };
+
+    /** A packet in flight on a link (or a local loopback). */
     struct Arrival {
         Cycle at;
-        LinkId link;
-        int vcIndex;
-        Packet packet;
+        std::uint32_t slot;       ///< pool index of the packet
+        LinkId link;              ///< kInvalidLink for loopbacks
+        std::int32_t vcIndex;
+
+        /** Heap order: earliest arrival first — at only, exactly
+         *  like the historical priority_queue (tie order matters). */
         bool operator>(const Arrival &o) const { return at > o.at; }
     };
 
@@ -135,6 +189,15 @@ class NetworkModel
         return p.escape ? escapeVcIndex(p) : normalVcIndex(p);
     }
 
+    /** Flat VcState index of (link, vc). */
+    std::size_t
+    vcStateIndex(LinkId link, int vc_index) const
+    {
+        return static_cast<std::size_t>(link) *
+                   static_cast<std::size_t>(totalVcs()) +
+               static_cast<std::size_t>(vc_index);
+    }
+
     void arbitrateNode(NodeId node, Cycle now);
     /**
      * Compute (or escalate) the route of head packet @p p at
@@ -145,41 +208,46 @@ class NetworkModel
      */
     bool computeRoute(NodeId node, Packet &p, Cycle now);
     /**
-     * Try to move head packet @p p one hop (or eject it).
+     * Try to move head packet @p p (pool slot @p slot) one hop, or
+     * eject it at its destination.
      *
      * @return True when the packet left this router.
      */
-    bool tryForward(NodeId node, Packet &p, Cycle now);
+    bool tryForward(NodeId node, Packet &p, std::uint32_t slot,
+                    Cycle now);
     void activateNode(NodeId node);
     void ensureEscapeTables() const;
-    double downstreamOccupancy(LinkId link, int vc_index) const;
-    void deliverLocal(Packet &&p, Cycle at);
     void recordDelivery(const Packet &p, Cycle delivered_at);
+    void pushArrival(std::vector<Arrival> &heap, Arrival a);
+    void popArrival(std::vector<Arrival> &heap);
 
     const net::Topology *topo_;
     SimConfig cfg_;
     int escapeBase_;
 
+    PacketPool pool_;
+
     std::vector<Cycle> linkBusyUntil_;   ///< per link
     std::vector<Cycle> outputGrantAt_;   ///< per link
     std::vector<Cycle> inputGrantAt_;    ///< per link (as input port)
-    /** inputs_[link] = VC buffers at the link's destination. */
-    std::vector<std::vector<VcBuffer>> inputs_;
-    std::vector<std::deque<Packet>> sourceQueue_;
+    /** VC buffers at each link's destination, flattened to one
+     *  contiguous array: index link * totalVcs() + vc. */
+    std::vector<VcState> vcs_;
+    std::vector<PacketFifo> sourceQueue_;  ///< per node
+    std::uint64_t sourceBacklog_ = 0;
     std::vector<Cycle> sourceBusyUntil_;
     std::vector<Cycle> ejectBusyUntil_;
     std::vector<std::uint32_t> pendingArrivals_;  ///< per node
 
-    /** (link, vcIndex) pairs that may hold a head packet, per node. */
-    std::vector<std::vector<std::pair<LinkId, int>>> activeVcs_;
-    std::vector<bool> nodeActive_;
+    /** Flat VcState indices that may hold a head packet, per node. */
+    std::vector<std::vector<std::uint32_t>> activeVcs_;
+    std::vector<std::uint8_t> nodeActive_;
     std::vector<NodeId> activeNodes_;
 
-    std::priority_queue<Arrival, std::vector<Arrival>,
-                        std::greater<>> arrivals_;
+    /** Min-heaps ordered by Arrival::operator> (see file header). */
+    std::vector<Arrival> arrivals_;
     /** Local (src == dst) deliveries scheduled for the next cycle. */
-    std::priority_queue<Arrival, std::vector<Arrival>,
-                        std::greater<>> localDeliveries_;
+    std::vector<Arrival> localDeliveries_;
 
     mutable std::unique_ptr<net::UpDownRouting> updown_;
     DeliverHandler onDeliver_;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "net/topology.hpp"
 #include "net/types.hpp"
 
 namespace sf::sim {
@@ -41,7 +42,8 @@ struct Packet {
     std::uint8_t escapeVcBit = 0;  ///< Ring escape: dateline parity.
 
     // Cached route decision (recomputed on becoming head) ----------
-    static constexpr int kMaxCandidates = 4;
+    static constexpr int kMaxCandidates =
+        static_cast<int>(net::kMaxRouteCandidates);
     LinkId candidates[kMaxCandidates] = {kInvalidLink, kInvalidLink,
                                          kInvalidLink, kInvalidLink};
     std::uint8_t numCandidates = 0;

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Slab pool of in-flight packets with free-list recycling.
+ *
+ * Every live packet in the network model occupies exactly one slot
+ * and is referred to by a 32-bit index: source queues, per-VC
+ * buffers, and the arrival queue all chain indices instead of
+ * copying ~100-byte Packet records around. Slots live in fixed-size
+ * chunks so addresses are stable across growth — delivery handlers
+ * may inject new packets (growing the pool) while the engine still
+ * holds a reference to the packet being delivered.
+ *
+ * Steady state allocates nothing: slots freed by delivery or drop
+ * are recycled LIFO through the free list, and a chunk is only
+ * malloc'd when the number of simultaneously live packets reaches a
+ * new high-water mark.
+ */
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace sf::sim {
+
+/** Chunked slab of Packet slots addressed by 32-bit index. */
+class PacketPool
+{
+  public:
+    /** Sentinel index: "no packet" / end of an intrusive chain. */
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Claim a slot (recycled or fresh) holding a default Packet. */
+    std::uint32_t
+    alloc()
+    {
+        std::uint32_t idx;
+        if (freeHead_ != kNil) {
+            idx = freeHead_;
+            freeHead_ = next_[idx];
+        } else {
+            if (size_ == chunks_.size() * kChunkSize)
+                chunks_.push_back(
+                    std::make_unique<Packet[]>(kChunkSize));
+            next_.push_back(kNil);
+            idx = static_cast<std::uint32_t>(size_++);
+        }
+        ++live_;
+        at(idx) = Packet{};
+        next_[idx] = kNil;
+        return idx;
+    }
+
+    /** Release a slot back to the free list. */
+    void
+    release(std::uint32_t idx)
+    {
+        assert(idx < size_ && live_ > 0);
+        next_[idx] = freeHead_;
+        freeHead_ = idx;
+        --live_;
+    }
+
+    Packet &
+    at(std::uint32_t idx)
+    {
+        assert(idx < size_);
+        return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    }
+
+    const Packet &
+    at(std::uint32_t idx) const
+    {
+        assert(idx < size_);
+        return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    }
+
+    /** Chain link following @p idx in whatever list holds it. */
+    std::uint32_t next(std::uint32_t idx) const { return next_[idx]; }
+    void setNext(std::uint32_t idx, std::uint32_t n) { next_[idx] = n; }
+
+    /** Currently claimed slots (== packets alive in the network). */
+    std::size_t liveCount() const { return live_; }
+
+    /** Slots ever created (pool high-water mark). */
+    std::size_t capacity() const { return size_; }
+
+  private:
+    static constexpr std::uint32_t kChunkShift = 10;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+    std::vector<std::unique_ptr<Packet[]>> chunks_;
+    /** Free-list / FIFO chain per slot (parallel to the slab). */
+    std::vector<std::uint32_t> next_;
+    std::uint32_t freeHead_ = kNil;
+    std::size_t live_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Intrusive FIFO of pool slots, chained through PacketPool's next
+ * links. A slot is in at most one FIFO (or the arrival queue) at a
+ * time, so one chain field per slot suffices.
+ */
+struct PacketFifo {
+    std::uint32_t head = PacketPool::kNil;
+    std::uint32_t tail = PacketPool::kNil;
+    std::uint32_t size = 0;
+
+    bool empty() const { return head == PacketPool::kNil; }
+
+    void
+    push(PacketPool &pool, std::uint32_t slot)
+    {
+        pool.setNext(slot, PacketPool::kNil);
+        if (tail == PacketPool::kNil)
+            head = slot;
+        else
+            pool.setNext(tail, slot);
+        tail = slot;
+        ++size;
+    }
+
+    /** Detach and return the head slot (FIFO must be non-empty). */
+    std::uint32_t
+    pop(PacketPool &pool)
+    {
+        assert(!empty());
+        const std::uint32_t slot = head;
+        head = pool.next(slot);
+        if (head == PacketPool::kNil)
+            tail = PacketPool::kNil;
+        --size;
+        return slot;
+    }
+};
+
+} // namespace sf::sim

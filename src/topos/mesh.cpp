@@ -45,15 +45,14 @@ MeshTopology::gridShape(std::size_t n)
     return {0, 0};
 }
 
-void
+std::size_t
 MeshTopology::routeCandidates(NodeId current, NodeId dest,
                               bool first_hop,
-                              std::vector<LinkId> &out) const
+                              std::span<LinkId> out) const
 {
     (void)first_hop;
-    out.clear();
     if (current == dest)
-        return;
+        return 0;
     // XY dimension order: finish the column dimension first. All
     // parallel wires of the chosen direction are candidates, giving
     // the adaptive selector room to spread load (ODM).
@@ -65,11 +64,15 @@ MeshTopology::routeCandidates(NodeId current, NodeId dest,
                    ? current + static_cast<NodeId>(cols_)
                    : current - static_cast<NodeId>(cols_);
     }
+    std::size_t count = 0;
     for (LinkId id : graph_.outLinks(current)) {
+        if (count == out.size())
+            break;
         const net::Link &l = graph_.link(id);
         if (l.enabled && l.dst == next)
-            out.push_back(id);
+            out[count++] = id;
     }
+    return count;
 }
 
 } // namespace sf::topos

@@ -42,8 +42,9 @@ class MeshTopology : public net::Topology
     }
     const net::Graph &graph() const override { return graph_; }
     int routerPorts() const override { return 4 * multiplier_; }
-    void routeCandidates(NodeId current, NodeId dest, bool first_hop,
-                         std::vector<LinkId> &out) const override;
+    std::size_t routeCandidates(NodeId current, NodeId dest,
+                                bool first_hop,
+                                std::span<LinkId> out) const override;
     net::TopologyFeatures
     features() const override
     {

@@ -33,14 +33,14 @@ class SpaceShuffle : public core::StringFigure
 
     std::string name() const override { return "S2"; }
 
-    void
+    std::size_t
     routeCandidates(NodeId current, NodeId dest, bool first_hop,
-                    std::vector<LinkId> &out) const override
+                    std::span<LinkId> out) const override
     {
         // No adaptive widening: S2 commits to the greediest choice.
         (void)first_hop;
-        core::StringFigure::routeCandidates(current, dest, false,
-                                            out);
+        return core::StringFigure::routeCandidates(current, dest,
+                                                   false, out);
     }
 
     net::TopologyFeatures

@@ -28,22 +28,25 @@ class TableRoutedTopology : public net::Topology
   public:
     const net::Graph &graph() const override { return graph_; }
 
-    void
+    std::size_t
     routeCandidates(NodeId current, NodeId dest, bool first_hop,
-                    std::vector<LinkId> &out) const override
+                    std::span<LinkId> out) const override
     {
         (void)first_hop;
         ensureTable();
-        out.clear();
         const std::size_t n = graph_.numNodes();
         const std::uint16_t here = dist_[current * n + dest];
         if (here == net::kUnreachable)
-            return;
+            return 0;
+        std::size_t count = 0;
         for (LinkId id : graph_.outLinks(current)) {
+            if (count == out.size())
+                break;
             const net::Link &l = graph_.link(id);
             if (l.enabled && dist_[l.dst * n + dest] + 1 == here)
-                out.push_back(id);
+                out[count++] = id;
         }
+        return count;
     }
 
     /** Hop distance between two nodes (analysis helper). */

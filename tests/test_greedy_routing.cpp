@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "core/string_figure.hpp"
 #include "net/topology.hpp"
 
@@ -67,7 +69,7 @@ TEST(GreedyRouting, RunningMinMdDecreasesWithinWindow)
     // the running minimum must strictly fall within a short window
     // (the plan-value potential argument, docs/greedy_routing.md).
     StringFigure sf_net(makeParams(113, 6, LinkMode::Unidirectional));
-    std::vector<LinkId> candidates;
+    LinkId candidates[16];
     for (NodeId s = 0; s < 113; s += 7) {
         for (NodeId t = 0; t < 113; t += 5) {
             if (s == t)
@@ -77,10 +79,10 @@ TEST(GreedyRouting, RunningMinMdDecreasesWithinWindow)
             int hops = 0;
             int window = 0;
             while (at != t) {
-                candidates.clear();
-                sf_net.routeCandidates(at, t, hops == 0, candidates);
-                ASSERT_FALSE(candidates.empty());
-                at = sf_net.graph().link(candidates.front()).dst;
+                const auto count = sf_net.routeCandidates(
+                    at, t, hops == 0, candidates);
+                ASSERT_GT(count, 0u);
+                at = sf_net.graph().link(candidates[0]).dst;
                 const double md = sf_net.router().distance(at, t);
                 ++hops;
                 ++window;
@@ -102,16 +104,17 @@ TEST(GreedyRouting, EveryCandidatePlanImproves)
     // improves on the current node's MD: either the neighbour
     // itself or a two-hop entry routed through it.
     StringFigure sf_net(makeParams(64, 8, LinkMode::Unidirectional));
-    std::vector<LinkId> candidates;
+    LinkId candidates[16];
     for (NodeId s = 0; s < 64; s += 3) {
         for (NodeId t = 0; t < 64; t += 5) {
             if (s == t)
                 continue;
-            candidates.clear();
-            sf_net.routeCandidates(s, t, true, candidates);
-            ASSERT_FALSE(candidates.empty());
+            const auto count =
+                sf_net.routeCandidates(s, t, true, candidates);
+            ASSERT_GT(count, 0u);
             const double md_s = sf_net.router().distance(s, t);
-            for (LinkId id : candidates) {
+            for (LinkId id :
+                 std::span<LinkId>(candidates, count)) {
                 const NodeId w = sf_net.graph().link(id).dst;
                 double best = sf_net.router().distance(w, t);
                 for (const auto &e :
@@ -130,22 +133,22 @@ TEST(GreedyRouting, EveryCandidatePlanImproves)
 TEST(GreedyRouting, FirstHopWidensLaterHopsCommit)
 {
     StringFigure sf_net(makeParams(128, 8, LinkMode::Unidirectional));
-    std::vector<LinkId> first;
-    std::vector<LinkId> later;
+    LinkId first[16];
+    LinkId later[16];
     int widened = 0;
     for (NodeId s = 0; s < 128; s += 11) {
         for (NodeId t = 0; t < 128; t += 13) {
             if (s == t)
                 continue;
-            first.clear();
-            later.clear();
-            sf_net.routeCandidates(s, t, true, first);
-            sf_net.routeCandidates(s, t, false, later);
-            ASSERT_GE(first.size(), 1u);
-            EXPECT_LE(later.size(), 1u);
-            if (!later.empty() && !first.empty())
-                EXPECT_EQ(first.front(), later.front());
-            widened += first.size() > 1 ? 1 : 0;
+            const auto n_first =
+                sf_net.routeCandidates(s, t, true, first);
+            const auto n_later =
+                sf_net.routeCandidates(s, t, false, later);
+            ASSERT_GE(n_first, 1u);
+            EXPECT_LE(n_later, 1u);
+            if (n_later > 0 && n_first > 0)
+                EXPECT_EQ(first[0], later[0]);
+            widened += n_first > 1 ? 1 : 0;
         }
     }
     // Path diversity must actually exist somewhere.
@@ -155,15 +158,15 @@ TEST(GreedyRouting, FirstHopWidensLaterHopsCommit)
 TEST(GreedyRouting, DirectNeighborWinsOutright)
 {
     StringFigure sf_net(makeParams(32, 4, LinkMode::Unidirectional));
-    std::vector<LinkId> candidates;
+    LinkId candidates[16];
     for (NodeId s = 0; s < 32; ++s) {
         for (LinkId id : sf_net.graph().outLinks(s)) {
             if (!sf_net.graph().link(id).enabled)
                 continue;
             const NodeId t = sf_net.graph().link(id).dst;
-            candidates.clear();
-            sf_net.routeCandidates(s, t, true, candidates);
-            ASSERT_EQ(candidates.size(), 1u);
+            ASSERT_EQ(
+                sf_net.routeCandidates(s, t, true, candidates),
+                1u);
             EXPECT_EQ(sf_net.graph().link(candidates[0]).dst, t);
         }
     }

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <vector>
@@ -402,6 +403,88 @@ TEST(SfxCli, Fig1SliceInterruptedThenResumed)
                        "1", "--out", resumed}),
               0);
     EXPECT_EQ(readFile(resumed), readFile(clean));
+}
+
+/**
+ * `sfx checkpoint status DIR`: per-experiment completed / pending /
+ * stale / corrupt counts from the entry files, exit 3 while runs
+ * are pending and 0 once complete, read-only (a corrupt entry is
+ * reported but never quarantined by status itself), and a --json
+ * form carrying the same numbers.
+ */
+TEST(SfxCli, CheckpointStatusTracksSweepLifecycle)
+{
+    TempDir work;
+    const std::string ckpt = work.file("ckpt");
+
+    // Interrupted sweep: some runs stored, some pending.
+    ASSERT_EQ(callSfx({"sfx", "run", "table2_features",
+                       "ablation_reconfig_envelope", "--quick",
+                       "--quiet", "--checkpoint", ckpt,
+                       "--max-runs", "2"}),
+              3);
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status", ckpt}), 3);
+
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status", ckpt,
+                       "--json"}),
+              3);
+    Json status =
+        Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(status.at("schema").asString(),
+              "sf-exp-checkpoint-status-v1");
+    EXPECT_EQ(status.at("total").at("completed").asUint(), 2u);
+    EXPECT_GT(status.at("total").at("pending").asUint(), 0u);
+    EXPECT_EQ(status.at("total").at("corrupt").asUint(), 0u);
+    EXPECT_EQ(status.at("experiments").asArray().size(), 2u);
+
+    // Flip a byte in one stored entry: status must count it as
+    // corrupt without quarantining it (read-only inspection).
+    std::vector<std::string> entries;
+    for (const auto &e : fs::recursive_directory_iterator(ckpt)) {
+        if (e.path().extension() == ".json" &&
+            e.path().parent_path().filename() == "runs")
+            entries.push_back(e.path().string());
+    }
+    ASSERT_EQ(entries.size(), 2u);
+    std::sort(entries.begin(), entries.end());
+    std::string text = readFile(entries[0]);
+    const auto pos = text.find("\"check\": \"");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 10] = text[pos + 10] == 'f' ? '0' : 'f';
+    writeFile(entries[0], text);
+
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status", ckpt,
+                       "--json"}),
+              3);
+    status = Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(status.at("total").at("corrupt").asUint(), 1u);
+    EXPECT_EQ(status.at("total").at("completed").asUint(), 1u);
+    EXPECT_TRUE(fs::exists(entries[0]))
+        << "status must not quarantine";
+    EXPECT_EQ(status.at("quarantined_files").asUint(), 0u);
+
+    // Finish the sweep; the resume quarantines and re-runs the
+    // corrupt entry, after which status reports complete.
+    ASSERT_EQ(callSfx({"sfx", "resume", ckpt, "--quiet"}), 0);
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status", ckpt,
+                       "--json"}),
+              0);
+    status = Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(status.at("total").at("pending").asUint(), 0u);
+    EXPECT_EQ(status.at("total").at("completed").asUint(),
+              status.at("total").at("planned").asUint());
+    EXPECT_EQ(status.at("quarantined_files").asUint(), 1u);
+    EXPECT_GT(status.at("journal_events").asUint(), 0u);
+
+    // Usage errors.
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status",
+                       work.file("nope")}),
+              2);
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "gc", ckpt}), 2);
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status"}), 2);
 }
 
 /** A checkpoint made by one invocation refuses another's flags. */
