@@ -3,7 +3,10 @@
  * Thin wrapper over the sf::exp registry: runs the
  * cycle-engine hot-path benchmark — the same grid
  * `sfx run 'micro_simulator'` executes, with --jobs/--out/--effort
- * available here too.
+ * available here too. Each load point carries one row per
+ * route-plane shard count (n1024/uniform/high/s2, ...), so the
+ * report records the sharded engine's scaling curve; rows own
+ * their pools, so --jobs 1 still exercises every shard count.
  */
 
 #include "exp/driver.hpp"

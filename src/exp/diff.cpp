@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "exp/report.hpp"
 
@@ -125,10 +126,30 @@ diffReports(const Json &a, const Json &b, const DiffOptions &opts)
                     continue;
                 }
                 ++diff.compared;
-                if (metric.second.isNumber() && vb->isNumber()) {
-                    const double va = metric.second.asDouble();
-                    const double vb_d = vb->asDouble();
-                    if (va == vb_d)
+                // JSON has no NaN/Inf, so reports serialise them
+                // as null (json.cpp appendNumber); a null metric
+                // value therefore rides the numeric path as NaN —
+                // through the CLI that is the *only* shape a NaN
+                // metric can arrive in.
+                const auto numeric_ish = [](const Json &v) {
+                    return v.isNumber() || v.isNull();
+                };
+                const auto as_nanable = [](const Json &v) {
+                    return v.isNull() ? std::numeric_limits<
+                                            double>::quiet_NaN()
+                                      : v.asDouble();
+                };
+                if (numeric_ish(metric.second) &&
+                    numeric_ish(*vb)) {
+                    const double va = as_nanable(metric.second);
+                    const double vb_d = as_nanable(*vb);
+                    const bool nan_a = std::isnan(va);
+                    const bool nan_b = std::isnan(vb_d);
+                    // NaN never compares equal to itself, so an
+                    // unchanged-NaN metric must be matched
+                    // explicitly or it reports as changed on
+                    // every diff.
+                    if (va == vb_d || (nan_a && nan_b))
                         continue;
                     MetricDelta delta;
                     delta.experiment = exp_name;
@@ -140,10 +161,19 @@ diffReports(const Json &a, const Json &b, const DiffOptions &opts)
                         (vb_d - va) /
                         std::max(std::fabs(va), 1e-300);
                     delta.deterministic = deterministic;
+                    // A NaN on either side defeats the tolerance
+                    // comparison (every <, > is false), which
+                    // used to wave the worst possible regression
+                    // — a metric *becoming* NaN — through CI. No
+                    // tolerance can excuse a NaN flip in either
+                    // direction: becoming NaN is a broken metric,
+                    // and recovering from one means the baseline
+                    // no longer describes the current code.
                     delta.regression =
                         deterministic &&
-                        std::fabs(delta.relDelta) >
-                            opts.tolerance;
+                        (nan_a != nan_b ||
+                         std::fabs(delta.relDelta) >
+                             opts.tolerance);
                     if (delta.regression)
                         ++diff.regressions;
                     diff.changed.push_back(std::move(delta));

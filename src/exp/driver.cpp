@@ -1,5 +1,6 @@
 #include "exp/driver.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -8,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <system_error>
 #include <vector>
 
 #include <atomic>
@@ -27,6 +29,10 @@ namespace {
 struct CliOptions {
     std::vector<std::string> patterns;
     int jobs = 0; // 0 = hardware concurrency
+    /** Route-plane shards per simulation (sim.shards). Like
+     *  --jobs, an execution knob: reports are byte-identical at
+     *  every value, so resume may override it freely. */
+    int shards = 1;
     std::string outPath;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
@@ -56,10 +62,17 @@ printUsage(std::FILE *to)
         "run\n"
         "  sfx checkpoint status <dir>    completed/pending/stale "
         "counts\n"
+        "  sfx checkpoint gc <dir>        delete stale/orphaned/"
+        "quarantined\n"
+        "                                 entries, prune empty "
+        "directories\n"
         "  sfx diff <base.json> <new.json>  compare two reports\n"
         "\n"
         "run options:\n"
         "  --jobs N      worker threads (default: all cores)\n"
+        "  --shards N    route-plane shards inside each cycle\n"
+        "                 simulation (default 1 = serial engine;\n"
+        "                 reports are byte-identical at any N)\n"
         "  --out FILE    write the JSON report to FILE\n"
         "  --effort E    quick | default | full\n"
         "  --quick       same as --effort quick\n"
@@ -79,8 +92,8 @@ printUsage(std::FILE *to)
         "interrupt,\n"
         "                 exit 3); finish with `sfx resume DIR`\n"
         "\n"
-        "resume options: --jobs, --out, --timing, --quiet, "
-        "--max-runs\n"
+        "resume options: --jobs, --shards, --out, --timing, "
+        "--quiet, --max-runs\n"
         "(pattern, effort, seed, and --runs come from the "
         "checkpoint's meta.json)\n"
         "\n"
@@ -99,7 +112,13 @@ printUsage(std::FILE *to)
         "  --json         structured sf-exp-checkpoint-status-v1 "
         "output\n"
         "(exit 0 when every planned run is stored, 3 when runs "
-        "are pending)\n",
+        "are pending)\n"
+        "\n"
+        "checkpoint gc options:\n"
+        "  --json         structured sf-exp-checkpoint-gc-v1 "
+        "output\n"
+        "(valid entries always survive; a gc never changes what "
+        "resume computes)\n",
         static_cast<unsigned long long>(kBaseSeed));
 }
 
@@ -143,6 +162,16 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             if (opts.jobs < 1) {
                 std::fprintf(stderr,
                              "sfx: --jobs must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--shards") {
+            char *v = need_value("--shards");
+            if (!v)
+                return false;
+            opts.shards = std::atoi(v);
+            if (opts.shards < 1) {
+                std::fprintf(stderr,
+                             "sfx: --shards must be >= 1\n");
                 return false;
             }
         } else if (arg == "--out" || arg == "-o") {
@@ -325,6 +354,7 @@ doRun(const CliOptions &opts)
 
     SchedulerOptions sched;
     sched.jobs = opts.jobs;
+    sched.shards = opts.shards;
     sched.effort = opts.effort;
     sched.baseSeed = opts.baseSeed;
     sched.store = store.get();
@@ -450,6 +480,7 @@ doRun(const CliOptions &opts)
         ropts.effort = opts.effort;
         ropts.baseSeed = opts.baseSeed;
         ropts.jobs = opts.jobs;
+        ropts.shards = opts.shards;
         ropts.includeTiming = opts.timing;
         try {
             writeFile(opts.outPath,
@@ -598,6 +629,49 @@ doDiff(int argc, char **argv)
 }
 
 /**
+ * Shared walk behind `sfx checkpoint status` and `sfx checkpoint
+ * gc`: re-plan every experiment the checkpoint's meta.json selects
+ * and classify each planned run's on-disk entry. Key construction
+ * mirrors the scheduler's store lookup (scheduler.cpp) — same
+ * plannedRuns, same specHash over the same grid, same deriveSeed
+ * inputs — and lives in exactly one place, so status, gc, and the
+ * scheduler can never disagree about which entry file a planned
+ * run maps to. @p on_spec fires once per selected experiment (in
+ * the same order `sfx run` would sweep them), then @p on_entry
+ * once per planned run with the classification and entry path.
+ */
+void
+forEachPlannedEntry(
+    const RunStore &store,
+    const std::vector<const ExperimentSpec *> &specs,
+    const CliOptions &opts,
+    const std::function<void(const ExperimentSpec &)> &on_spec,
+    const std::function<void(RunStore::EntryState,
+                             const std::string &)> &on_entry)
+{
+    PlanContext plan_ctx;
+    plan_ctx.effort = opts.effort;
+    plan_ctx.baseSeed = opts.baseSeed;
+    for (const ExperimentSpec *spec : specs) {
+        const auto runs =
+            plannedRuns(*spec, plan_ctx, opts.runFilter);
+        if (runs.empty() && !opts.runFilter.empty())
+            continue;  // as `sfx run` skips filtered-out specs
+        on_spec(*spec);
+        const std::string hash =
+            specHash(*spec, runs, opts.effort, opts.baseSeed);
+        for (const RunSpec &run : runs) {
+            const RunStore::Key key{
+                spec->name, run.id,
+                deriveSeed(spec->name, run.id, opts.baseSeed),
+                hash};
+            on_entry(store.inspect(key),
+                     store.entryPath(spec->name, run.id));
+        }
+    }
+}
+
+/**
  * `sfx checkpoint status DIR`: classify every run the checkpointed
  * invocation plans against the entries on disk — completed (valid
  * under the current spec hash), stale (outdated key, will re-run),
@@ -627,10 +701,6 @@ doCheckpointStatus(const std::string &dir, bool json_out)
     }
     RunStore store(dir);
 
-    PlanContext plan_ctx;
-    plan_ctx.effort = opts.effort;
-    plan_ctx.baseSeed = opts.baseSeed;
-
     struct Row {
         std::string name;
         std::size_t planned = 0;
@@ -646,43 +716,32 @@ doCheckpointStatus(const std::string &dir, bool json_out)
     };
     std::vector<Row> rows;
     Row total{"total"};
-    for (const ExperimentSpec *spec : specs) {
-        const auto runs =
-            plannedRuns(*spec, plan_ctx, opts.runFilter);
-        if (runs.empty() && !opts.runFilter.empty())
-            continue;  // as `sfx run` skips filtered-out specs
-        Row row{spec->name};
-        // Key construction mirrors the scheduler's store lookup
-        // (scheduler.cpp): same specHash over the same planned
-        // grid, same deriveSeed inputs.
-        const std::string hash =
-            specHash(*spec, runs, opts.effort, opts.baseSeed);
-        for (const RunSpec &run : runs) {
-            RunStore::Key key{spec->name, run.id,
-                              deriveSeed(spec->name, run.id,
-                                         opts.baseSeed),
-                              hash};
+    forEachPlannedEntry(
+        store, specs, opts,
+        [&](const ExperimentSpec &spec) {
+            rows.push_back(Row{spec.name});
+        },
+        [&](RunStore::EntryState state, const std::string &) {
+            Row &row = rows.back();
             ++row.planned;
-            switch (store.inspect(key)) {
+            ++total.planned;
+            switch (state) {
             case RunStore::EntryState::Valid:
                 ++row.completed;
+                ++total.completed;
                 break;
             case RunStore::EntryState::Stale:
                 ++row.stale;
+                ++total.stale;
                 break;
             case RunStore::EntryState::Corrupt:
                 ++row.corrupt;
+                ++total.corrupt;
                 break;
             case RunStore::EntryState::Missing:
                 break;
             }
-        }
-        total.planned += row.planned;
-        total.completed += row.completed;
-        total.stale += row.stale;
-        total.corrupt += row.corrupt;
-        rows.push_back(std::move(row));
-    }
+        });
 
     std::size_t quarantined = 0;
     std::error_code ec;
@@ -763,6 +822,188 @@ doCheckpointStatus(const std::string &dir, bool json_out)
     return total.pending() > 0 ? 3 : 0;
 }
 
+/**
+ * `sfx checkpoint gc DIR`: reclaim everything a resume can no
+ * longer use — stale entries (outdated spec hash; they would be
+ * re-run and overwritten anyway), corrupt entries (they would be
+ * quarantined and re-run), orphaned files under runs/ that no
+ * planned run maps to (left behind by registry renames, removed
+ * grid cells, or interrupted temp writes), and the quarantine
+ * backlog — then prunes emptied directories. Valid entries are
+ * never touched, so gc cannot change what a later `sfx resume`
+ * computes; it only shrinks multi-day sweep directories.
+ */
+int
+doCheckpointGc(const std::string &dir, bool json_out)
+{
+    namespace fs = std::filesystem;
+    CliOptions opts;
+    try {
+        optionsFromMeta(dir, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfx: %s\n", e.what());
+        return 2;
+    }
+    // A pattern matching no registered experiment usually means
+    // the wrong (newer) binary, not true garbage — the planned-run
+    // walk would then keep nothing and pass 2 would reap every
+    // completed entry as an orphan. Refuse, exactly as status
+    // does; a checkpoint that really is all garbage is `rm -r`
+    // territory, not gc's.
+    const auto specs = registry().match(opts.patterns[0]);
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "sfx: checkpoint %s plans '%s', which matches "
+                     "no registered experiment; refusing to gc "
+                     "(every entry would count as orphaned)\n",
+                     dir.c_str(), opts.patterns[0].c_str());
+        return 2;
+    }
+    RunStore store(dir);
+
+    std::size_t stale = 0;
+    std::size_t corrupt = 0;
+    std::size_t orphaned = 0;
+    std::size_t quarantined = 0;
+    std::size_t kept = 0;
+    std::size_t pruned_dirs = 0;
+    std::size_t errors = 0;
+    std::error_code ec;
+    // Deletions count only when they actually happened: a
+    // read-only or foreign-owned checkpoint must report failures
+    // (and exit nonzero), not pretend the space was reclaimed.
+    const auto reap = [&](const fs::path &p, std::size_t &n) {
+        std::error_code rec;
+        if (fs::remove(p, rec) && !rec)
+            ++n;
+        else
+            ++errors;
+    };
+    // A directory that cannot be *iterated* (foreign owner, mode
+    // 000) is a failure too — the sweep silently covered nothing —
+    // but a directory that simply does not exist is the normal
+    // shape of "nothing to do" (no quarantine/ yet, an experiment
+    // dir without runs/).
+    const auto iter_failed = [&](const std::error_code &it_ec) {
+        if (it_ec &&
+            it_ec != std::errc::no_such_file_or_directory)
+            ++errors;
+    };
+
+    // Pass 1: classify every planned run's entry — via the same
+    // walk status uses, so "valid" is precisely "resume would
+    // reuse it". Every path this pass touched (kept, or a
+    // deletion attempt regardless of outcome) is off-limits to
+    // the orphan sweep: a stale entry whose removal failed must
+    // not be re-attempted — and re-counted — as an orphan.
+    std::vector<std::string> handled;
+    forEachPlannedEntry(
+        store, specs, opts, [](const ExperimentSpec &) {},
+        [&](RunStore::EntryState state, const std::string &path) {
+            switch (state) {
+            case RunStore::EntryState::Valid:
+                handled.push_back(path);
+                ++kept;
+                break;
+            case RunStore::EntryState::Stale:
+                handled.push_back(path);
+                reap(path, stale);
+                break;
+            case RunStore::EntryState::Corrupt:
+                handled.push_back(path);
+                reap(path, corrupt);
+                break;
+            case RunStore::EntryState::Missing:
+                break;
+            }
+        });
+    std::sort(handled.begin(), handled.end());
+    const auto pass1_handled = [&](const fs::path &p) {
+        return std::binary_search(handled.begin(), handled.end(),
+                                  p.string());
+    };
+
+    // Pass 2: orphan sweep — anything under an experiment's runs/
+    // that pass 1 did not mark as a valid planned entry (renamed
+    // experiments, removed grid cells, stray temp files).
+    for (fs::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_directory() ||
+            it->path().filename() == "quarantine")
+            continue;
+        const fs::path runs_dir = it->path() / "runs";
+        std::error_code rec;
+        for (fs::directory_iterator rit(runs_dir, rec), rend;
+             !rec && rit != rend; rit.increment(rec)) {
+            if (rit->is_regular_file() &&
+                !pass1_handled(rit->path()))
+                reap(rit->path(), orphaned);
+        }
+        iter_failed(rec);
+        // Prune what emptied (remove() refuses non-empty dirs).
+        if (fs::remove(runs_dir, rec))
+            ++pruned_dirs;
+        if (fs::remove(it->path(), rec))
+            ++pruned_dirs;
+    }
+    iter_failed(ec);
+
+    // Pass 3: the quarantine backlog is post-mortem evidence, and
+    // gc is its explicit retention limit.
+    const fs::path quarantine_dir = fs::path(dir) / "quarantine";
+    for (fs::directory_iterator it(quarantine_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file())
+            reap(it->path(), quarantined);
+    }
+    iter_failed(ec);
+    fs::remove(quarantine_dir, ec);  // only if emptied
+
+    // One journal line so the event stream explains the shrink.
+    try {
+        Json line = Json::object();
+        line.set("event", "gc");
+        line.set("kept", kept);
+        line.set("stale", stale);
+        line.set("corrupt", corrupt);
+        line.set("orphaned", orphaned);
+        line.set("quarantined", quarantined);
+        line.set("errors", errors);
+        appendJsonLine(
+            (fs::path(dir) / "journal.jsonl").string(), line);
+    } catch (const std::exception &) {
+    }
+
+    if (json_out) {
+        Json doc = Json::object();
+        doc.set("schema", "sf-exp-checkpoint-gc-v1");
+        doc.set("dir", dir);
+        doc.set("kept", kept);
+        doc.set("stale_deleted", stale);
+        doc.set("corrupt_deleted", corrupt);
+        doc.set("orphaned_deleted", orphaned);
+        doc.set("quarantine_deleted", quarantined);
+        doc.set("pruned_dirs", pruned_dirs);
+        doc.set("errors", errors);
+        std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+    } else {
+        std::printf("gc %s: kept %zu, deleted %zu stale + %zu "
+                    "corrupt + %zu orphaned + %zu quarantined, "
+                    "pruned %zu dir(s)%s\n",
+                    dir.c_str(), kept, stale, corrupt, orphaned,
+                    quarantined, pruned_dirs,
+                    errors ? " — DELETIONS FAILED" : "");
+    }
+    if (errors > 0) {
+        std::fprintf(stderr,
+                     "sfx: gc: %zu deletion(s) failed (permissions"
+                     "?); the files are still on disk\n",
+                     errors);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -780,9 +1021,9 @@ sfxMain(int argc, char **argv)
     if (command == "resume")
         return doResume(argc, argv);
     if (command == "checkpoint") {
+        std::string sub;
         std::string dir;
         bool json_out = false;
-        bool have_sub = false;
         for (int i = 2; i < argc; ++i) {
             const std::string_view arg = argv[i];
             if (arg == "--json") {
@@ -790,15 +1031,15 @@ sfxMain(int argc, char **argv)
             } else if (arg == "--help" || arg == "-h") {
                 printUsage(stdout);
                 return 0;
-            } else if (!have_sub) {
-                if (arg != "status") {
+            } else if (sub.empty()) {
+                if (arg != "status" && arg != "gc") {
                     std::fprintf(stderr,
                                  "sfx: unknown checkpoint "
                                  "subcommand: %s\n",
                                  argv[i]);
                     return 2;
                 }
-                have_sub = true;
+                sub = arg;
             } else if (dir.empty() && !arg.empty() &&
                        arg[0] != '-') {
                 dir = arg;
@@ -809,13 +1050,14 @@ sfxMain(int argc, char **argv)
                 return 2;
             }
         }
-        if (!have_sub || dir.empty()) {
+        if (sub.empty() || dir.empty()) {
             std::fprintf(stderr,
-                         "sfx: usage: sfx checkpoint status "
-                         "<dir> [--json]\n");
+                         "sfx: usage: sfx checkpoint "
+                         "status|gc <dir> [--json]\n");
             return 2;
         }
-        return doCheckpointStatus(dir, json_out);
+        return sub == "gc" ? doCheckpointGc(dir, json_out)
+                           : doCheckpointStatus(dir, json_out);
     }
     if (command == "run") {
         CliOptions opts;

@@ -72,6 +72,7 @@ adaptiveSpec()
                         sfParams(n, rc.baseSeed));
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
+                    cfg.shards = rc.shards;
                     cfg.adaptive = adaptive;
                     Json m = Json::object();
                     m.set("saturation_rate",
@@ -118,6 +119,7 @@ balanceSpec()
                     net::allPairsStats(topo->graph());
                 sim::SimConfig cfg;
                 cfg.seed = rc.seed;
+                cfg.shards = rc.shards;
                 Json m = Json::object();
                 m.set("avg_hops", stats.average);
                 m.set("diameter", static_cast<std::int64_t>(
@@ -279,6 +281,7 @@ unidirSpec()
                         topos::cachedTopology(params);
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
+                    cfg.shards = rc.shards;
                     Json m = Json::object();
                     m.set("avg_hops",
                           net::allPairsStats(topo->graph())

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/string_figure.hpp"
@@ -25,6 +26,7 @@
 #include "exp/experiments/builtin.hpp"
 #include "exp/experiments/common.hpp"
 #include "exp/registry.hpp"
+#include "exp/work_pool.hpp"
 #include "net/rng.hpp"
 #include "sim/simulator.hpp"
 #include "topos/factory.hpp"
@@ -312,10 +314,16 @@ resetPeakRss()
  * Cycle-engine hot-path benchmark (BENCH_sim_hotpath.json): wall
  * clock of full runSynthetic simulations on the paper's largest
  * Fig 11 configuration — 1024 nodes, uniform-random traffic — at a
- * low, a mid, and a high (near-saturation) load point. The
- * `cycles_per_sec` metric is the engine's headline throughput; the
- * perf-smoke CI job archives the report so the trajectory is
- * visible PR over PR.
+ * low, a mid, and a high (near-saturation) load point, each at a
+ * sweep of route-plane shard counts so the report carries the
+ * scaling curve of the sharded engine. Every row owns a WorkPool of
+ * exactly its shard count (independent of --jobs), so the s1 row is
+ * the serial engine's number and the s>1 rows measure the sharded
+ * one; `simulated_cycles` / `measured_packets` / `flit_hops` must
+ * agree across the shard rows of one load point — the benchmark
+ * doubles as determinism evidence. The `cycles_per_sec` metric is
+ * the engine's headline throughput; the perf-smoke CI job archives
+ * the report so the trajectory is visible PR over PR.
  */
 ExperimentSpec
 microSimulatorSpec()
@@ -324,10 +332,17 @@ microSimulatorSpec()
     spec.name = "micro_simulator";
     spec.artefact = "Sec VI";
     spec.title = "cycle-engine hot-path wall clock on 1024-node "
-                 "uniform-random runs (non-deterministic)";
+                 "uniform-random runs, per shard count "
+                 "(non-deterministic)";
     spec.deterministic = false;
     spec.plan = [](const PlanContext &ctx) {
         const int reps = pick(ctx.effort, 1, 2, 3);
+        // The CI perf-smoke job runs quick effort, so shards 1 and
+        // 2 ride every CI run; the wider counts need real cores to
+        // say anything and stay on default/full.
+        const std::vector<int> shard_counts =
+            pick<std::vector<int>>(ctx.effort, {1, 2},
+                                   {1, 2, 4, 8}, {1, 2, 4, 8});
         std::vector<RunSpec> runs;
         // Beyond-saturation rates trip the backlog early-abort
         // within a few hundred cycles and measure almost nothing,
@@ -342,59 +357,86 @@ microSimulatorSpec()
             {"high", 0.045},
         };
         for (const auto &point : points) {
-            RunSpec run;
-            run.id = fmt("n1024/uniform/%s", point.label);
-            run.params.set("nodes", 1024);
-            run.params.set("pattern", "uniform");
-            run.params.set("load", point.label);
-            run.params.set("rate", point.rate);
-            run.params.set("reps", reps);
-            const double rate = point.rate;
-            run.body = [rate, reps](const RunContext &rc) -> Json {
-                resetPeakRss();
-                const auto topo = topos::cachedTopology(
-                    topos::TopoKind::SF, 1024, rc.baseSeed);
-                sim::SimConfig cfg;
-                cfg.seed = rc.seed;
-                const auto phases =
-                    sim::RunPhases::latencyCurve();
-                using clock = std::chrono::steady_clock;
-                double best_s = 0.0;
-                double sum_s = 0.0;
-                sim::RunResult result;
-                for (int r = 0; r < reps; ++r) {
-                    const auto start = clock::now();
-                    result = sim::runSynthetic(
-                        *topo, sim::TrafficPattern::UniformRandom,
-                        rate, cfg, phases);
-                    const double s =
-                        std::chrono::duration<double>(
-                            clock::now() - start)
-                            .count();
-                    sum_s += s;
-                    if (r == 0 || s < best_s)
-                        best_s = s;
-                }
-                Json m = Json::object();
-                m.set("cycles_per_sec",
-                      best_s > 0.0
-                          ? static_cast<double>(
-                                result.simulatedCycles) /
-                                best_s
-                          : 0.0);
-                m.set("wall_s_min", best_s);
-                m.set("wall_s_mean",
-                      sum_s / static_cast<double>(reps));
-                m.set("simulated_cycles",
-                      static_cast<std::uint64_t>(
-                          result.simulatedCycles));
-                m.set("measured_packets", result.measuredPackets);
-                m.set("flit_hops", result.flitHops);
-                m.set("saturated", result.saturated);
-                m.set("process_peak_rss_kb", processPeakRssKb());
-                return m;
-            };
-            runs.push_back(std::move(run));
+            for (const int shards : shard_counts) {
+                RunSpec run;
+                run.id = fmt("n1024/uniform/%s/s%d", point.label,
+                             shards);
+                run.params.set("nodes", 1024);
+                run.params.set("pattern", "uniform");
+                run.params.set("load", point.label);
+                run.params.set("rate", point.rate);
+                run.params.set("shards", shards);
+                run.params.set("reps", reps);
+                const double rate = point.rate;
+                const std::string point_id =
+                    fmt("n1024/uniform/%s", point.label);
+                run.body = [rate, reps, shards,
+                            point_id](const RunContext &rc) -> Json {
+                    resetPeakRss();
+                    const auto topo = topos::cachedTopology(
+                        topos::TopoKind::SF, 1024, rc.baseSeed);
+                    sim::SimConfig cfg;
+                    // Seeded per load point, not per row: every
+                    // shard row of one point then simulates the
+                    // identical event sequence, so equal
+                    // simulated_cycles / measured_packets /
+                    // flit_hops across s1..s8 are determinism
+                    // evidence right in the benchmark report.
+                    cfg.seed = deriveSeed("micro_simulator",
+                                          point_id, rc.baseSeed);
+                    cfg.shards = shards;
+                    // A private pool sized to the shard count:
+                    // the row measures the sharded engine itself,
+                    // not whatever --jobs left idle. (Thread
+                    // stacks nudge peak RSS up slightly on s>1
+                    // rows; the s1 row stays pool-free.)
+                    std::unique_ptr<WorkPool> pool;
+                    if (shards > 1)
+                        pool =
+                            std::make_unique<WorkPool>(shards);
+                    const auto phases =
+                        sim::RunPhases::latencyCurve();
+                    using clock = std::chrono::steady_clock;
+                    double best_s = 0.0;
+                    double sum_s = 0.0;
+                    sim::RunResult result;
+                    for (int r = 0; r < reps; ++r) {
+                        const auto start = clock::now();
+                        result = sim::runSynthetic(
+                            *topo,
+                            sim::TrafficPattern::UniformRandom,
+                            rate, cfg, phases, pool.get());
+                        const double s =
+                            std::chrono::duration<double>(
+                                clock::now() - start)
+                                .count();
+                        sum_s += s;
+                        if (r == 0 || s < best_s)
+                            best_s = s;
+                    }
+                    Json m = Json::object();
+                    m.set("cycles_per_sec",
+                          best_s > 0.0
+                              ? static_cast<double>(
+                                    result.simulatedCycles) /
+                                    best_s
+                              : 0.0);
+                    m.set("wall_s_min", best_s);
+                    m.set("wall_s_mean",
+                          sum_s / static_cast<double>(reps));
+                    m.set("simulated_cycles",
+                          static_cast<std::uint64_t>(
+                              result.simulatedCycles));
+                    m.set("measured_packets",
+                          result.measuredPackets);
+                    m.set("flit_hops", result.flitHops);
+                    m.set("saturated", result.saturated);
+                    m.set("process_peak_rss_kb",
+                          processPeakRssKb());
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            }
         }
         return runs;
     };

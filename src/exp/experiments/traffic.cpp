@@ -32,6 +32,9 @@ simConfigFor(const RunContext &rc)
     // topology construction (below) follows the base seed so every
     // run in a sweep simulates the same generated network.
     cfg.seed = rc.seed;
+    // Route-plane sharding (`sfx --shards`): byte-identical at any
+    // count, so an execution knob like jobs, not a grid parameter.
+    cfg.shards = rc.shards;
     return cfg;
 }
 
@@ -150,7 +153,8 @@ fig11Spec()
                                 simConfigFor(rc);
                             const auto r = sim::runSynthetic(
                                 *topo, pattern, rate, cfg,
-                                sim::RunPhases::latencyCurve());
+                                sim::RunPhases::latencyCurve(),
+                                rc.executor);
                             Json m = Json::object();
                             m.set("saturated", r.saturated);
                             m.set("avg_latency",

@@ -15,8 +15,11 @@ buildReport(const std::vector<ExperimentResults> &experiments,
     report.set("suite", "string-figure");
     report.set("effort", std::string(effortName(opts.effort)));
     report.set("base_seed", opts.baseSeed);
-    if (opts.includeTiming)
+    if (opts.includeTiming) {
         report.set("jobs", static_cast<std::int64_t>(opts.jobs));
+        report.set("shards",
+                   static_cast<std::int64_t>(opts.shards));
+    }
 
     Json exps = Json::array();
     for (const ExperimentResults &er : experiments) {

@@ -34,6 +34,9 @@ struct ReportOptions {
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
     int jobs = 1;
+    /** Route-plane shards the sweep ran with; like jobs, only
+     *  recorded under includeTiming (it cannot affect results). */
+    int shards = 1;
     /**
      * Include per-run / per-experiment wall-clock and scheduler
      * metadata. Off by default: timing varies run to run, and the

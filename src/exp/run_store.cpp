@@ -1,8 +1,12 @@
 #include "exp/run_store.hpp"
 
+#include <cerrno>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "exp/report.hpp"
 #include "net/rng.hpp"
@@ -75,14 +79,64 @@ checksumOf(const Json &entry)
     return hex16(fnv1a64(payload.dump()));
 }
 
-/** writeFile + rename: the entry appears fully written or not at
- *  all, never half. */
+/**
+ * Atomic *and durable* replacement of @p path: write a temp file,
+ * fsync it, rename over the target, then fsync the directory. The
+ * entry appears fully written or not at all — and once this
+ * returns, it survives a power loss. Rename-without-fsync is not
+ * enough: the journaled rename can reach disk before the payload
+ * blocks do, and after a crash the entry then exists with missing
+ * bytes — the checksum quarantines it and a run that had actually
+ * completed is silently re-executed (or, for meta.json, the whole
+ * checkpoint is rejected). Throws std::runtime_error on any
+ * failure, leaving no temp file behind.
+ */
 void
 writeFileAtomic(const fs::path &path, const std::string &text)
 {
     const fs::path tmp = path.string() + ".tmp";
-    writeFile(tmp.string(), text);
-    fs::rename(tmp, path);
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        throw std::runtime_error("cannot open for writing: " +
+                                 tmp.string());
+    std::size_t off = 0;
+    bool ok = true;
+    while (ok && off < text.size()) {
+        const ssize_t put =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+        } else {
+            off += static_cast<std::size_t>(put);
+        }
+    }
+    ok = ok && ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
+    if (!ok) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        throw std::runtime_error("short write: " + tmp.string());
+    }
+    try {
+        fs::rename(tmp, path);
+    } catch (...) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        throw;
+    }
+    // The rename itself is only durable once the directory's
+    // entry list is: fsync the parent (best-effort where the
+    // filesystem refuses directory handles).
+    const int dir_fd = ::open(path.parent_path().c_str(),
+                              O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
 }
 
 } // namespace
@@ -191,9 +245,16 @@ RunStore::quarantine(const std::string &path, const Key &key)
     const fs::path dir = fs::path(root_) / "quarantine";
     std::error_code ec;
     fs::create_directories(dir, ec);
-    const fs::path target =
-        dir / (sanitize(key.experiment) + "__" +
-               fs::path(path).filename().string());
+    // Uniquify the target: the same entry can be quarantined once
+    // per resume (corrupted again, or never successfully re-run),
+    // and a colliding name would overwrite — or, where rename onto
+    // an existing file fails, fall through to remove — the earlier
+    // corpse; either way post-mortem evidence is lost.
+    const std::string base = sanitize(key.experiment) + "__" +
+                             fs::path(path).filename().string();
+    fs::path target = dir / base;
+    for (int n = 2; fs::exists(target, ec); ++n)
+        target = dir / (base + "." + std::to_string(n));
     fs::rename(path, target, ec);
     if (ec)
         fs::remove(path, ec); // at minimum get it out of runs/

@@ -63,6 +63,7 @@ runExperiment(const ExperimentSpec &exp,
             ctx.baseSeed = opts.baseSeed;
             ctx.effort = opts.effort;
             ctx.executor = &pool;
+            ctx.shards = opts.shards > 0 ? opts.shards : 1;
             result.seed = ctx.seed;
             const auto progress = [&] {
                 const std::size_t completed =

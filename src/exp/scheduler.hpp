@@ -48,6 +48,9 @@ struct RunResult {
 struct SchedulerOptions {
     /** Worker threads; 0 means hardware concurrency. */
     int jobs = 0;
+    /** Route-plane shards per simulation (RunContext::shards);
+     *  results are identical at any value, like jobs. */
+    int shards = 1;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
     /**

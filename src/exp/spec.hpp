@@ -74,6 +74,16 @@ struct RunContext {
      * must be a pure function of the run's own inputs.
      */
     sim::Executor *executor = nullptr;
+    /**
+     * Route-plane shards for cycle simulations (`sfx --shards`,
+     * sim::SimConfig::shards): bodies that run the flit simulator
+     * should copy this into their SimConfig and pass `executor`
+     * through, which parallelises *inside* one simulation. Like
+     * the executor, it must never affect results — the sharded
+     * engine is byte-identical at every shard count — so it is an
+     * execution knob, not part of the run grid or the spec hash.
+     */
+    int shards = 1;
 };
 
 /** One independent unit of work inside an experiment. */

@@ -16,6 +16,15 @@ const auto kLaterFirst = [](const auto &a, const auto &b) {
     return a > b;
 };
 
+/**
+ * Route-plane fan-out floor: below this many collected jobs the
+ * shards run inline on the calling thread — an Executor batch
+ * costs more than the routes at light load. Results are identical
+ * either way (the jobs are pure), so the threshold is a pure
+ * wall-clock knob.
+ */
+constexpr std::size_t kRoutePhaseMinJobs = 32;
+
 } // namespace
 
 NetworkModel::NetworkModel(const net::Topology &topo,
@@ -129,6 +138,100 @@ NetworkModel::onTopologyChanged()
     updown_.reset();
     // Head packets revalidate their cached candidates lazily: every
     // forward attempt checks that the chosen link is still enabled.
+    // The route plane, though, is only provably identical to the
+    // serial loop while the topology is immutable (a precomputed
+    // route for a head the loop skips this cycle must equal the
+    // route the loop would compute next cycle), so a reconfig
+    // retires it for the lifetime of this model.
+    routeExecutor_ = nullptr;
+    routeWork_.clear();
+    routeTasks_.clear();
+}
+
+void
+NetworkModel::setRouteExecutor(Executor *executor)
+{
+    routeExecutor_ =
+        (executor && cfg_.shards > 1) ? executor : nullptr;
+    routeWork_.clear();
+    routeTasks_.clear();
+    if (routeExecutor_)
+        routeWork_.resize(static_cast<std::size_t>(cfg_.shards));
+}
+
+void
+NetworkModel::precomputeRoutes(Cycle now)
+{
+    const std::size_t shards = routeWork_.size();
+    const std::size_t n = topo_->numNodes();
+    std::size_t total = 0;
+    for (const NodeId node : activeNodes_) {
+        // Contiguous spatial blocks: nodes [k*n/S, (k+1)*n/S) form
+        // shard k, so a shard owns its nodes' whole route workload.
+        const std::size_t shard =
+            static_cast<std::size_t>(node) * shards / n;
+        const auto consider = [&](std::uint32_t slot) {
+            const Packet &p = pool_.at(slot);
+            // Only the pure greedy fast path is precomputable; the
+            // loop owns every order-sensitive case: cached routes,
+            // escape routing, escalation due this cycle (its stats
+            // counter can land inside the measurement window), the
+            // gated-destination drop path, and ejection heads.
+            if (p.routed || p.escape || p.dst == node ||
+                !topo_->nodeAlive(p.dst))
+                return;
+            routeWork_[shard].push_back(RouteJob{slot, node});
+            ++total;
+        };
+        for (const std::uint32_t flat : activeVcs_[node]) {
+            const VcState &vc = vcs_[flat];
+            if (vc.fifo.empty())
+                continue;
+            if (!pool_.at(vc.fifo.head).escape &&
+                now - vc.headSince > cfg_.escapeThreshold)
+                continue;  // the loop escalates before routing
+            consider(vc.fifo.head);
+        }
+        const PacketFifo &source = sourceQueue_[node];
+        if (!source.empty() && sourceBusyUntil_[node] <= now)
+            consider(source.head);
+    }
+    if (total == 0)
+        return;
+    if (total < kRoutePhaseMinJobs) {
+        for (std::size_t s = 0; s < shards; ++s)
+            routeShard(s);
+    } else {
+        if (routeTasks_.empty()) {
+            routeTasks_.reserve(shards);
+            for (std::size_t s = 0; s < shards; ++s)
+                routeTasks_.push_back([this, s] { routeShard(s); });
+        }
+        routeExecutor_->runAll(routeTasks_);
+    }
+    for (std::vector<RouteJob> &work : routeWork_)
+        work.clear();
+}
+
+void
+NetworkModel::routeShard(std::size_t shard)
+{
+    // Runs concurrently with other shards: every job writes only
+    // its own Packet record (a head sits in exactly one queue, so
+    // slots never repeat across jobs) and reads only the immutable
+    // topology, whose const routing paths are thread-safe.
+    for (const RouteJob &job : routeWork_[shard]) {
+        Packet &p = pool_.at(job.slot);
+        const std::size_t count = topo_->routeCandidates(
+            job.node, p.dst, p.hops == 0, p.candidates);
+        if (count > 0) {
+            p.numCandidates = static_cast<std::uint8_t>(count);
+            p.routed = true;
+        }
+        // count == 0 (greedy stall on a degraded topology): leave
+        // the packet untouched so the serial loop escalates it to
+        // the escape path exactly as the unsharded engine does.
+    }
 }
 
 void
@@ -186,6 +289,11 @@ NetworkModel::step(Cycle now)
         popArrival(localDeliveries_);
         pool_.release(top.slot);
     }
+
+    // 1b. Sharded route plane: fill in this cycle's pure greedy
+    //     routes concurrently before any serial state advances.
+    if (routeExecutor_)
+        precomputeRoutes(now);
 
     // 2. Arbitrate all routers with pending work.
     for (std::size_t i = 0; i < activeNodes_.size();) {

@@ -44,6 +44,33 @@
  * rejected. With pooled packets the heap sifts 24-byte PODs over a
  * bounded horizon of flits + wire latency + SerDes cycles, so the
  * sift cost is a few word moves, not ~100-byte Packet copies.)
+ *
+ * Sharded route plane (cfg.shards > 1 + setRouteExecutor): the one
+ * part of a cycle that is a pure function of immutable state — the
+ * greedy route computation of every cycle-start head packet, ~3/4
+ * of near-saturation runtime at n=1024 — is partitioned spatially:
+ * nodes map to shards in contiguous blocks, each shard owns its
+ * nodes' head packets, and the shards fill in Packet::candidates
+ * concurrently on Executor threads between the arrival-landing and
+ * arbitration phases (a cycle barrier: runAll returns before any
+ * serial state advances). Everything whose *order* is load-bearing
+ * stays on the serial commit path, because the engine's total event
+ * order is defined by it: the global arrival heap's push
+ * interleaving (pop ties replay insertion structure), the
+ * activeNodes_ walk with its swap-removal compaction (same-cycle
+ * neighbour drain-then-reserve ordering), escape escalation (its
+ * stats can land in a report mid-window), drops, deliveries, and
+ * every RNG draw. Because a precomputed route is the same pure
+ * function the serial loop would evaluate at its own point in the
+ * cycle — the topology is immutable for the run and a head's
+ * (node, dst, hops, escape) inputs cannot change before the loop
+ * consumes or invalidates the cache — the sharded engine is
+ * event-for-event identical to the serial one at every shard
+ * count, and the partition never appears in results. A reconfig
+ * (onTopologyChanged) breaks the immutability premise, so it
+ * permanently disables the route plane for the instance; the
+ * simulator layer only enables sharding for runSynthetic, which
+ * never reconfigures.
  */
 
 #pragma once
@@ -55,6 +82,7 @@
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "net/updown.hpp"
+#include "sim/executor.hpp"
 #include "sim/packet.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/sim_config.hpp"
@@ -120,9 +148,22 @@ class NetworkModel
     /**
      * Invalidate routing caches after the topology changed
      * (reconfiguration): escape tables rebuild lazily, head packets
-     * re-route on their next arbitration.
+     * re-route on their next arbitration. Also retires the sharded
+     * route plane for good — precomputed routes are only provably
+     * identical to loop-computed ones while the topology is
+     * immutable.
      */
     void onTopologyChanged();
+
+    /**
+     * Enable the sharded route plane (see the file header): with
+     * cfg.shards > 1, each step() fans the cycle-start head-packet
+     * route computations out over @p executor in cfg.shards spatial
+     * node partitions. Pass nullptr (or leave cfg.shards at 1) for
+     * the exact serial engine. The executor must outlive the model.
+     * Results are byte-identical either way and at any shard count.
+     */
+    void setRouteExecutor(Executor *executor);
 
     /** The configured topology. */
     const net::Topology &topology() const { return *topo_; }
@@ -198,7 +239,27 @@ class NetworkModel
                static_cast<std::size_t>(vc_index);
     }
 
+    /** One unit of route-plane work: the head packet in @p slot is
+     *  parked at @p node and needs greedy candidates. */
+    struct RouteJob {
+        std::uint32_t slot;
+        NodeId node;
+    };
+
     void arbitrateNode(NodeId node, Cycle now);
+    /**
+     * Sharded route plane, between arrival landing and arbitration:
+     * collect every cycle-start head the serial loop would route
+     * through the pure greedy fast path this cycle (or a later one)
+     * and fill in its candidates concurrently, one spatial node
+     * partition per shard. Heads on the order-sensitive paths —
+     * escape escalation due, dead destination, already routed —
+     * are left for the serial loop untouched.
+     */
+    void precomputeRoutes(Cycle now);
+    /** Compute one shard's collected routes (runs on any thread;
+     *  writes only to its own jobs' Packet records). */
+    void routeShard(std::size_t shard);
     /**
      * Compute (or escalate) the route of head packet @p p at
      * @p node.
@@ -248,6 +309,15 @@ class NetworkModel
     std::vector<Arrival> arrivals_;
     /** Local (src == dst) deliveries scheduled for the next cycle. */
     std::vector<Arrival> localDeliveries_;
+
+    // Sharded route plane (inert unless setRouteExecutor was
+    // called with cfg_.shards > 1; see the file header).
+    Executor *routeExecutor_ = nullptr;
+    /** Per-shard job lists, cleared (capacity kept) every cycle. */
+    std::vector<std::vector<RouteJob>> routeWork_;
+    /** Reusable shard tasks, built once (steady state allocates
+     *  nothing, matching the rest of the data plane). */
+    std::vector<std::function<void()>> routeTasks_;
 
     mutable std::unique_ptr<net::UpDownRouting> updown_;
     DeliverHandler onDeliver_;

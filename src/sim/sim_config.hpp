@@ -45,6 +45,16 @@ struct SimConfig {
     int flitBits = 128;
     /** Traffic/selection randomness seed. */
     std::uint64_t seed = 1;
+    /**
+     * Route-plane shards (`sfx --shards`): number of spatial node
+     * partitions whose head-packet route computations run
+     * concurrently each cycle when the simulation also has an
+     * Executor (see NetworkModel::setRouteExecutor). Routes are
+     * pure functions of the immutable topology, so the report is
+     * byte-identical at every shard count — 1 disables the phase
+     * and runs the exact serial engine.
+     */
+    int shards = 1;
 
     /** Nanoseconds per network cycle (312.5 MHz). */
     static constexpr double kNsPerCycle = 3.2;

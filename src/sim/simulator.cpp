@@ -26,9 +26,12 @@ liveNodes(const net::Topology &topo)
 RunResult
 runSynthetic(const net::Topology &topo, TrafficPattern pattern,
              double rate, const SimConfig &cfg,
-             const RunPhases &phases)
+             const RunPhases &phases, Executor *executor)
 {
     NetworkModel net(topo, cfg);
+    // Synthetic runs never reconfigure the topology, which is the
+    // precondition of the sharded route plane (network.hpp).
+    net.setRouteExecutor(executor);
     Rng traffic_rng(cfg.seed * 0x9e3779b9ULL + 17);
     const auto nodes = liveNodes(topo);
     const auto n_all = topo.numNodes();
@@ -111,14 +114,14 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
 
 double
 zeroLoadLatency(const net::Topology &topo, const SimConfig &cfg,
-                TrafficPattern pattern)
+                TrafficPattern pattern, Executor *executor)
 {
     RunPhases phases;
     phases.warmup = 500;
     phases.measure = 4000;
     phases.drainLimit = 20000;
     const auto result =
-        runSynthetic(topo, pattern, 0.002, cfg, phases);
+        runSynthetic(topo, pattern, 0.002, cfg, phases, executor);
     return result.avgTotalLatency;
 }
 
@@ -266,12 +269,16 @@ findSaturationRate(const net::Topology &topo, TrafficPattern pattern,
         tasks.reserve(batch.size());
         for (std::size_t i = 0; i < batch.size(); ++i) {
             tasks.push_back([&, i] {
+                // Probes pass the executor through, so a probe's
+                // own route plane may shard onto workers that are
+                // not busy with sibling probes (nested batches).
                 if (batch[i] == kZeroLoadProbe)
-                    zero_load_result =
-                        zeroLoadLatency(topo, cfg, pattern);
+                    zero_load_result = zeroLoadLatency(
+                        topo, cfg, pattern, executor);
                 else
-                    results[i] = runSynthetic(
-                        topo, pattern, batch[i], cfg, phases);
+                    results[i] =
+                        runSynthetic(topo, pattern, batch[i], cfg,
+                                     phases, executor);
             });
         }
         exec.runAll(tasks);
@@ -287,14 +294,14 @@ findSaturationRate(const net::Topology &topo, TrafficPattern pattern,
 std::vector<SweepPoint>
 latencySweep(const net::Topology &topo, TrafficPattern pattern,
              const std::vector<double> &rates, const SimConfig &cfg,
-             const RunPhases &phases)
+             const RunPhases &phases, Executor *executor)
 {
     std::vector<SweepPoint> points;
     points.reserve(rates.size());
     for (const double rate : rates)
-        points.push_back(
-            SweepPoint{rate, runSynthetic(topo, pattern, rate, cfg,
-                                          phases)});
+        points.push_back(SweepPoint{
+            rate, runSynthetic(topo, pattern, rate, cfg, phases,
+                               executor)});
     return points;
 }
 

@@ -63,17 +63,25 @@ struct RunResult {
  * toward @p pattern destinations. Injection continues during drain;
  * a run that cannot drain its measured packets (or whose source
  * backlog keeps growing) reports saturated.
+ *
+ * With @p executor non-null and cfg.shards > 1 the cycle engine
+ * shards its route plane across the executor's threads (see
+ * network.hpp); the result is byte-identical at every shard count
+ * and with a null executor, so callers may thread any available
+ * pool through without a determinism risk.
  */
 RunResult runSynthetic(const net::Topology &topo,
                        TrafficPattern pattern, double rate,
                        const SimConfig &cfg,
-                       const RunPhases &phases = {});
+                       const RunPhases &phases = {},
+                       Executor *executor = nullptr);
 
 /** Zero-load average packet latency (very light uniform traffic). */
 double zeroLoadLatency(const net::Topology &topo,
                        const SimConfig &cfg,
                        TrafficPattern pattern =
-                           TrafficPattern::UniformRandom);
+                           TrafficPattern::UniformRandom,
+                       Executor *executor = nullptr);
 
 /**
  * Saturation injection rate in packets/node/cycle: the highest rate
@@ -105,6 +113,7 @@ struct SweepPoint {
 std::vector<SweepPoint>
 latencySweep(const net::Topology &topo, TrafficPattern pattern,
              const std::vector<double> &rates, const SimConfig &cfg,
-             const RunPhases &phases = {});
+             const RunPhases &phases = {},
+             Executor *executor = nullptr);
 
 } // namespace sf::sim

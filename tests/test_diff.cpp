@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "exp/diff.hpp"
 #include "exp/report.hpp"
 #include "test_util.hpp"
@@ -77,6 +79,73 @@ TEST(Diff, RegressionBeyondToleranceGates)
     const ReportDiff ok = diffReports(a, b, loose);
     EXPECT_TRUE(ok.clean());
     EXPECT_EQ(ok.changed.size(), 1u);
+}
+
+/**
+ * NaN must not defeat the gate: NaN != NaN used to report an
+ * unchanged-NaN metric as changed on every diff, and a metric
+ * *becoming* NaN compared false against every tolerance — the
+ * worst possible regression sailed through CI.
+ */
+TEST(Diff, NanMetricsCompareEqualAndNanFlipsGate)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // NaN -> NaN is an unchanged metric: clean, nothing reported.
+    const ReportDiff same =
+        diffReports(report(nan, 0.25), report(nan, 0.25));
+    EXPECT_TRUE(same.clean());
+    EXPECT_TRUE(same.changed.empty());
+    EXPECT_EQ(same.compared, 4u);
+
+    // number -> NaN is a deterministic regression that no
+    // tolerance may excuse.
+    DiffOptions loose;
+    loose.tolerance = 1e9;
+    const ReportDiff broke =
+        diffReports(report(0.50, 0.25), report(nan, 0.25), loose);
+    EXPECT_FALSE(broke.clean());
+    EXPECT_EQ(broke.regressions, 1u);
+    ASSERT_EQ(broke.changed.size(), 1u);
+    EXPECT_EQ(broke.changed[0].run, "n16/SF");
+    EXPECT_TRUE(broke.changed[0].regression);
+
+    // NaN -> number gates too: the baseline no longer describes
+    // the current code and must be re-blessed, not waved past.
+    const ReportDiff fixed =
+        diffReports(report(nan, 0.25), report(0.50, 0.25), loose);
+    EXPECT_FALSE(fixed.clean());
+    EXPECT_EQ(fixed.regressions, 1u);
+
+    // Non-deterministic experiments stay exempt even for NaN
+    // flips (wall-clock metrics may legitimately be absent-ish).
+    const ReportDiff nd = diffReports(
+        report(0.50, 0.25, /*deterministic=*/false),
+        report(nan, 0.25, /*deterministic=*/false), loose);
+    EXPECT_TRUE(nd.clean());
+    EXPECT_EQ(nd.changed.size(), 1u);
+
+    // The CLI shape: JSON has no NaN, so a report on disk carries
+    // it as null (appendNumber); after a dump/parse round trip the
+    // same semantics must hold — null-vs-null unchanged,
+    // number-vs-null a deterministic regression, non-deterministic
+    // exempt — rather than falling into the structural-drift path
+    // that gates unconditionally.
+    const auto rt = [](const Json &doc) {
+        return Json::parse(doc.dump(2));
+    };
+    EXPECT_TRUE(
+        diffReports(rt(report(nan, 0.25)), rt(report(nan, 0.25)))
+            .clean());
+    const ReportDiff disk_broke = diffReports(
+        rt(report(0.50, 0.25)), rt(report(nan, 0.25)), loose);
+    EXPECT_FALSE(disk_broke.clean());
+    EXPECT_EQ(disk_broke.regressions, 1u);
+    EXPECT_TRUE(disk_broke.structural.empty());
+    const ReportDiff disk_nd = diffReports(
+        rt(report(0.50, 0.25, false)), rt(report(nan, 0.25, false)),
+        loose);
+    EXPECT_TRUE(disk_nd.clean());
 }
 
 TEST(Diff, NonDeterministicExperimentsNeverGate)

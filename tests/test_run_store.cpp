@@ -229,6 +229,43 @@ TEST(CrashRecovery, FlippedByteQuarantinedAndReRun)
 }
 
 /**
+ * Bugfix pin — the same entry quarantined twice (corrupted, re-run
+ * and re-stored, corrupted again: exactly what repeated resumes of
+ * a sweep on flaky storage produce) must preserve BOTH corpses.
+ * The quarantine target name used to be a pure function of the
+ * entry name, so the second quarantine collided with the first and
+ * the evidence was overwritten (or, where rename-onto-existing
+ * fails, fell through to fs::remove and was deleted outright).
+ */
+TEST(CrashRecovery, DoubleQuarantineKeepsBothCorpses)
+{
+    TempDir dir;
+    RunStore store(dir.path());
+    const RunStore::Key key{"dup_toy", "grid/r0", 7, "h1"};
+    RunResult result;
+    result.metrics.set("v", 1);
+    const std::string path =
+        store.entryPath("dup_toy", "grid/r0");
+    for (std::size_t round = 1; round <= 2; ++round) {
+        store.store(key, result);
+        writeFile(path, "not json at all - round " +
+                            std::to_string(round));
+        RunResult out;
+        EXPECT_FALSE(store.load(key, out));
+        EXPECT_EQ(store.stats().quarantined, round);
+    }
+    std::vector<std::string> corpses;
+    for (const auto &entry : fs::directory_iterator(
+             fs::path(dir.path()) / "quarantine"))
+        corpses.push_back(entry.path().string());
+    ASSERT_EQ(corpses.size(), 2u);
+    // Distinct files, and both rounds' bytes survived.
+    std::string all = readFile(corpses[0]) + readFile(corpses[1]);
+    EXPECT_NE(all.find("round 1"), std::string::npos);
+    EXPECT_NE(all.find("round 2"), std::string::npos);
+}
+
+/**
  * A registry change — here simulated by re-planning the experiment
  * with one extra grid cell — flips the spec hash and invalidates
  * exactly that experiment's entries; a sibling experiment in the
@@ -479,12 +516,50 @@ TEST(SfxCli, CheckpointStatusTracksSweepLifecycle)
     EXPECT_EQ(status.at("quarantined_files").asUint(), 1u);
     EXPECT_GT(status.at("journal_events").asUint(), 0u);
 
+    // `sfx checkpoint gc`: the complete sweep above left one
+    // quarantined corpse; plant an orphan under runs/ too (a
+    // registry rename / removed grid cell leaves exactly this).
+    // gc must reclaim both, keep every valid entry — status still
+    // reports the sweep complete — and a second gc is a no-op.
+    const fs::path orphan =
+        fs::path(entries[0]).parent_path() / "orphan.json";
+    writeFile(orphan.string(), "{}");
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "gc", ckpt,
+                       "--json"}),
+              0);
+    Json gc = Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(gc.at("quarantine_deleted").asUint(), 1u);
+    EXPECT_EQ(gc.at("orphaned_deleted").asUint(), 1u);
+    EXPECT_EQ(gc.at("stale_deleted").asUint(), 0u);
+    EXPECT_EQ(gc.at("kept").asUint(),
+              status.at("total").at("planned").asUint());
+    EXPECT_FALSE(fs::exists(orphan));
+    EXPECT_FALSE(
+        fs::exists(fs::path(ckpt) / "quarantine"));
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "status", ckpt,
+                       "--json"}),
+              0);
+    status = Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(status.at("total").at("pending").asUint(), 0u);
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "gc", ckpt,
+                       "--json"}),
+              0);
+    gc = Json::parse(testing::internal::GetCapturedStdout());
+    EXPECT_EQ(gc.at("quarantine_deleted").asUint(), 0u);
+    EXPECT_EQ(gc.at("orphaned_deleted").asUint(), 0u);
+
     // Usage errors.
     EXPECT_EQ(callSfx({"sfx", "checkpoint", "status",
                        work.file("nope")}),
               2);
-    EXPECT_EQ(callSfx({"sfx", "checkpoint", "gc", ckpt}), 2);
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "prune", ckpt}), 2);
     EXPECT_EQ(callSfx({"sfx", "checkpoint", "status"}), 2);
+    EXPECT_EQ(callSfx({"sfx", "checkpoint", "gc",
+                       work.file("nope")}),
+              2);
 }
 
 /** A checkpoint made by one invocation refuses another's flags. */
