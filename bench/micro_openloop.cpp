@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Thin wrapper over the sf::exp registry: runs the open-loop
+ * generator + histogram hot-path rows — the same grid
+ * `sfx run 'micro_openloop'` executes, with --jobs/--out/--effort
+ * available here too. One row per arrival process x load point on
+ * the 1024-node String Figure network; wall clock is
+ * machine-dependent, but measured_packets / p99 are deterministic
+ * and double as generator-determinism evidence across reruns.
+ */
+
+#include "exp/driver.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return sf::exp::benchMain("micro_openloop", argc, argv);
+}

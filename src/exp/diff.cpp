@@ -51,6 +51,24 @@ fmtDouble(double v)
 
 } // namespace
 
+bool
+isPercentileMetric(std::string_view key)
+{
+    // Strip a family prefix ("net_p99" compares like "p99").
+    const std::size_t underscore = key.rfind('_');
+    if (underscore != std::string_view::npos)
+        key = key.substr(underscore + 1);
+    if (key == "max")
+        return true;
+    if (key.size() < 2 || key[0] != 'p')
+        return false;
+    for (const char c : key.substr(1)) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return true;
+}
+
 ReportDiff
 diffReports(const Json &a, const Json &b, const DiffOptions &opts)
 {
@@ -169,9 +187,14 @@ diffReports(const Json &a, const Json &b, const DiffOptions &opts)
                     // direction: becoming NaN is a broken metric,
                     // and recovering from one means the baseline
                     // no longer describes the current code.
+                    // Percentile metrics exact-compare: they are
+                    // integral functions of the deterministic
+                    // event stream, so any drift gates no matter
+                    // the tolerance.
                     delta.regression =
                         deterministic &&
                         (nan_a != nan_b ||
+                         isPercentileMetric(key) ||
                          std::fabs(delta.relDelta) >
                              opts.tolerance);
                     if (delta.regression)

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/json.hpp"
@@ -26,10 +27,21 @@ struct DiffOptions {
     /**
      * Maximum accepted relative change of a deterministic numeric
      * metric, e.g. 0.05 = 5%. The default demands byte-equal
-     * values.
+     * values. Percentile metrics (see isPercentileMetric) are
+     * exempt from the tolerance: they always exact-compare.
      */
     double tolerance = 0.0;
 };
+
+/**
+ * Percentile-family metric names ("p50", "p95", "p999", ...,
+ * "max", and prefixed variants like "net_p99"): integral cycle
+ * counts that are pure functions of the deterministic event
+ * stream, so on a deterministic experiment *any* drift is a
+ * regression — no tolerance excuses it. A tolerance exists to
+ * absorb benign float noise; percentiles have none.
+ */
+bool isPercentileMetric(std::string_view key);
 
 /** One metric whose value differs between the two reports. */
 struct MetricDelta {

@@ -23,6 +23,8 @@ void registerAblationExperiments(Registry &r);
 /** micro_routing + micro_simulator (wall-clock timings;
  *  non-deterministic). */
 void registerMicroExperiments(Registry &r);
+/** hockey_stick (open-loop tail latency) + micro_openloop. */
+void registerOpenLoopExperiments(Registry &r);
 
 /** Register every built-in experiment. */
 void registerBuiltinExperiments(Registry &r);

@@ -460,6 +460,7 @@ registerBuiltinExperiments(Registry &r)
     registerWorkloadExperiments(r);
     registerAblationExperiments(r);
     registerMicroExperiments(r);
+    registerOpenLoopExperiments(r);
 }
 
 } // namespace sf::exp

@@ -564,6 +564,9 @@ NetworkModel::recordDelivery(const Packet &p, Cycle delivered_at)
         stats_.totalLatency.record(delivered_at - p.createdAt);
         stats_.networkLatency.record(delivered_at -
                                      p.enteredNetworkAt);
+        stats_.totalLatencyLog.record(delivered_at - p.createdAt);
+        stats_.networkLatencyLog.record(delivered_at -
+                                        p.enteredNetworkAt);
     }
     if (onDeliver_)
         onDeliver_(p, delivered_at);

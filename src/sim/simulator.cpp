@@ -21,6 +21,37 @@ liveNodes(const net::Topology &topo)
     return nodes;
 }
 
+/** Per-node deterministic stream seed: mixes the run seed with the
+ *  node id (and a stream tag) so every node owns an independent
+ *  sequence that is still a pure function of cfg.seed. */
+std::uint64_t
+nodeStreamSeed(std::uint64_t seed, NodeId node, std::uint64_t tag)
+{
+    std::uint64_t h = seed + tag * 0x9e3779b97f4a7c15ULL +
+                      (static_cast<std::uint64_t>(node) + 1) *
+                          0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 30;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+/** Copy the measured-window statistics into @p result. */
+void
+fillMeasuredStats(RunResult &result, const NetStats &stats)
+{
+    result.avgTotalLatency = stats.totalLatency.mean();
+    result.avgNetworkLatency = stats.networkLatency.mean();
+    result.p50Latency = stats.totalLatency.percentile(0.50);
+    result.p99Latency = stats.totalLatency.percentile(0.99);
+    result.avgHops = stats.avgHops();
+    result.measuredPackets = stats.measuredPackets;
+    result.escapeTransfers = stats.escapeTransfers;
+    result.flitHops = stats.flitHops;
+    result.tailTotal = stats.totalLatencyLog.summary();
+    result.tailNetwork = stats.networkLatencyLog.summary();
+}
+
 } // namespace
 
 RunResult
@@ -83,15 +114,7 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
     if (cycle >= hard_end)
         result.saturated = true;
 
-    const NetStats &stats = net.stats();
-    result.avgTotalLatency = stats.totalLatency.mean();
-    result.avgNetworkLatency = stats.networkLatency.mean();
-    result.p50Latency = stats.totalLatency.percentile(0.50);
-    result.p99Latency = stats.totalLatency.percentile(0.99);
-    result.avgHops = stats.avgHops();
-    result.measuredPackets = stats.measuredPackets;
-    result.escapeTransfers = stats.escapeTransfers;
-    result.flitHops = stats.flitHops;
+    fillMeasuredStats(result, net.stats());
     result.simulatedCycles = cycle;
     if (cycle > phases.warmup && !nodes.empty()) {
         const Cycle window_end = std::min<Cycle>(cycle, measure_end);
@@ -105,6 +128,121 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
         if (window > 0) {
             result.acceptedLoad =
                 static_cast<double>(delivered_in_window) *
+                cfg.packetFlits /
+                (window * static_cast<double>(nodes.size()));
+            result.realizedLoad =
+                static_cast<double>(measured_injected) *
+                cfg.packetFlits /
+                (window * static_cast<double>(nodes.size()));
+        }
+    }
+    return result;
+}
+
+RunResult
+runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
+            const ArrivalConfig &arrivals, double rate,
+            const SimConfig &cfg, const RunPhases &phases,
+            Executor *executor)
+{
+    NetworkModel net(topo, cfg);
+    // Open-loop runs never reconfigure the topology — the sharded
+    // route plane's precondition, exactly as in runSynthetic.
+    net.setRouteExecutor(executor);
+    const auto nodes = liveNodes(topo);
+    const auto n_all = topo.numNodes();
+
+    // Per-node arrival schedules and destination streams. Both are
+    // pure functions of (cfg.seed, node), so the whole injection
+    // sequence is fixed before the first cycle executes —
+    // congestion cannot push back on the offered load, and no
+    // execution knob (jobs, shards) can reach it.
+    std::vector<OpenLoopSource> sources;
+    std::vector<Rng> destRng;
+    std::vector<Cycle> nextArrival;
+    sources.reserve(nodes.size());
+    destRng.reserve(nodes.size());
+    nextArrival.reserve(nodes.size());
+    for (const NodeId src : nodes) {
+        sources.emplace_back(arrivals, rate,
+                             nodeStreamSeed(cfg.seed, src, 1));
+        destRng.emplace_back(nodeStreamSeed(cfg.seed, src, 2));
+        nextArrival.push_back(sources.back().next());
+    }
+
+    RunResult result;
+    result.offeredLoad = rate * cfg.packetFlits;
+
+    const Cycle measure_end = phases.warmup + phases.measure;
+    const Cycle hard_end = measure_end + phases.drainLimit;
+    std::uint64_t measured_injected = 0;
+    std::uint64_t delivered_at_measure_start = 0;
+    std::uint64_t delivered_at_measure_end = 0;
+    // Deeper early-abort cap than runSynthetic's: on/off arrival
+    // processes legitimately pile transient bursts tens of packets
+    // deep per node and then drain — only a backlog far beyond any
+    // burst working set means the offered load exceeds capacity.
+    const std::uint64_t backlog_cap = nodes.size() * 24;
+
+    Cycle cycle = 0;
+    for (; cycle < hard_end; ++cycle) {
+        if (cycle == phases.warmup)
+            delivered_at_measure_start =
+                net.stats().deliveredPackets;
+        if (cycle == measure_end)
+            delivered_at_measure_end = net.stats().deliveredPackets;
+
+        const bool in_measure =
+            cycle >= phases.warmup && cycle < measure_end;
+        // Serial, ascending-node injection order: the arrival
+        // heap's push interleaving is load-bearing (ROADMAP
+        // total-event-order constraint), so schedules drain in a
+        // fixed order no matter how they were generated.
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            while (nextArrival[i] <= cycle) {
+                nextArrival[i] = sources[i].next();
+                const NodeId src = nodes[i];
+                const NodeId dst = trafficDestination(
+                    pattern, src, n_all, destRng[i]);
+                if (dst == src || !topo.nodeAlive(dst))
+                    continue;
+                net.inject(src, dst, cfg.packetFlits, kRequest,
+                           cycle, 0, in_measure);
+                measured_injected += in_measure ? 1 : 0;
+            }
+        }
+        net.step(cycle);
+
+        if ((cycle & 0xff) == 0 &&
+            net.sourceQueueBacklog() > backlog_cap) {
+            result.saturated = true;
+            break;
+        }
+        if (cycle >= measure_end &&
+            net.stats().measuredPackets >= measured_injected)
+            break;  // every measured packet delivered
+    }
+    if (cycle >= hard_end)
+        result.saturated = true;
+
+    fillMeasuredStats(result, net.stats());
+    result.simulatedCycles = cycle;
+    if (cycle > phases.warmup && !nodes.empty()) {
+        const Cycle window_end = std::min<Cycle>(cycle, measure_end);
+        const std::uint64_t delivered_in_window =
+            (delivered_at_measure_end > 0
+                 ? delivered_at_measure_end
+                 : net.stats().deliveredPackets) -
+            delivered_at_measure_start;
+        const double window = static_cast<double>(
+            window_end - phases.warmup);
+        if (window > 0) {
+            result.acceptedLoad =
+                static_cast<double>(delivered_in_window) *
+                cfg.packetFlits /
+                (window * static_cast<double>(nodes.size()));
+            result.realizedLoad =
+                static_cast<double>(measured_injected) *
                 cfg.packetFlits /
                 (window * static_cast<double>(nodes.size()));
         }

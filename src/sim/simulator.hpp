@@ -39,6 +39,25 @@ struct RunPhases {
     {
         return {800, 2500, 15000};
     }
+
+    /**
+     * Open-loop tail-latency runs (the hockey-stick family): a
+     * longer measure window — p999 needs thousands of measured
+     * packets — and a cooldown generous enough to drain a network
+     * that was driven near its knee. Injection continues through
+     * cooldown, so the measured tail is not flattered by an
+     * emptying system.
+     */
+    static constexpr RunPhases openLoop()
+    {
+        return {1500, 6000, 25000};
+    }
+
+    /** Abbreviated open-loop phases for quick-effort sweeps. */
+    static constexpr RunPhases openLoopQuick()
+    {
+        return {800, 3000, 12000};
+    }
 };
 
 /** Outcome of one synthetic-traffic run. */
@@ -55,6 +74,15 @@ struct RunResult {
     std::uint64_t escapeTransfers = 0;
     std::uint64_t flitHops = 0;     ///< full-run flit-hops (energy)
     Cycle simulatedCycles = 0;
+    /** Tail-latency cut of the measured window, from the
+     *  log-bucket histograms (full dynamic range — unlike
+     *  p50Latency/p99Latency these stay meaningful past the linear
+     *  histograms' range): create -> eject and entry -> eject. */
+    LatencySummary tailTotal;
+    LatencySummary tailNetwork;
+    /** Flits / node / cycle actually injected in the measure
+     *  window (open-loop runs: the schedule's realized rate). */
+    double realizedLoad = 0.0;
 };
 
 /**
@@ -75,6 +103,30 @@ RunResult runSynthetic(const net::Topology &topo,
                        const SimConfig &cfg,
                        const RunPhases &phases = {},
                        Executor *executor = nullptr);
+
+/**
+ * Run open-loop traffic: every live node injects on its own
+ * deterministic arrival schedule — a pure function of (arrival
+ * config, rate, cfg.seed, node) produced by an OpenLoopSource —
+ * instead of the per-cycle Bernoulli draw of runSynthetic. Offered
+ * load therefore never backs off under congestion, which is what
+ * makes the result's tail percentiles (RunResult::tailTotal /
+ * tailNetwork, recorded into fixed-size log-bucket histograms on
+ * the allocation-free measure path) a serving-system metric: the
+ * latency distribution under a fixed arrival process.
+ *
+ * Phases run warmup -> measure -> cooldown (drainLimit): only
+ * packets injected inside the measure window are recorded, and
+ * injection continues through cooldown so the tail is not
+ * flattered by an emptying network. Deterministic like
+ * runSynthetic: byte-identical at every job and shard count.
+ */
+RunResult runOpenLoop(const net::Topology &topo,
+                      TrafficPattern pattern,
+                      const ArrivalConfig &arrivals, double rate,
+                      const SimConfig &cfg,
+                      const RunPhases &phases = RunPhases::openLoop(),
+                      Executor *executor = nullptr);
 
 /** Zero-load average packet latency (very light uniform traffic). */
 double zeroLoadLatency(const net::Topology &topo,

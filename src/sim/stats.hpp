@@ -1,11 +1,15 @@
 /**
  * @file
- * Simulation statistics: latency distributions, throughput,
- * hop/flit-hop counters for the energy model, escape usage.
+ * Simulation statistics: latency distributions (linear and
+ * HDR-style log-bucket), throughput, hop/flit-hop counters for the
+ * energy model, escape usage.
  */
 
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +31,7 @@ class LatencyHistogram
     {
         ++count_;
         sum_ += latency;
+        max_ = std::max(max_, latency);
         if (latency < bins_.size())
             ++bins_[latency];
         else
@@ -34,6 +39,12 @@ class LatencyHistogram
     }
 
     std::uint64_t count() const { return count_; }
+
+    /** Samples folded into the terminal overflow bucket. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Largest recorded latency (exact, even for overflows). */
+    Cycle max() const { return max_; }
 
     double
     mean() const
@@ -43,7 +54,12 @@ class LatencyHistogram
                       : 0.0;
     }
 
-    /** Latency at quantile @p q in [0, 1]. */
+    /**
+     * Latency at quantile @p q in [0, 1]. Samples beyond the linear
+     * range live in a terminal overflow bucket; a quantile landing
+     * there reports the observed maximum (the honest upper bound)
+     * rather than the meaningless bin count.
+     */
     Cycle
     percentile(double q) const
     {
@@ -57,7 +73,7 @@ class LatencyHistogram
             if (seen > target)
                 return static_cast<Cycle>(i);
         }
-        return static_cast<Cycle>(bins_.size());  // overflowed
+        return max_;  // quantile falls in the overflow bucket
     }
 
     void
@@ -65,6 +81,7 @@ class LatencyHistogram
     {
         std::fill(bins_.begin(), bins_.end(), 0ull);
         overflow_ = count_ = sum_ = 0;
+        max_ = 0;
     }
 
   private:
@@ -72,6 +89,155 @@ class LatencyHistogram
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
+    Cycle max_ = 0;
+};
+
+/** Percentile summary extracted from a latency distribution. */
+struct LatencySummary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    Cycle p50 = 0;
+    Cycle p95 = 0;
+    Cycle p99 = 0;
+    Cycle p999 = 0;
+    Cycle max = 0;
+};
+
+/**
+ * HDR-style log-bucket latency histogram: fixed-size storage whose
+ * buckets grow geometrically, so any latency from 0 to 2^31 cycles
+ * records in O(1) with no allocation and ~3% worst-case relative
+ * value error (32 sub-buckets per power of two; values below 32
+ * are exact). Designed for the simulator's measure-path: record()
+ * is one array increment, and two histograms merge by element-wise
+ * addition, which is associative and deterministic — shard- and
+ * order-independent aggregation is correct by construction.
+ *
+ * Percentiles report the lower bound of the quantile's bucket
+ * (clamped to the exact observed max), so the extraction is a pure
+ * function of the recorded multiset: any event stream that fills
+ * identical buckets reports identical p50/p95/p99/p999/max.
+ */
+class LogHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^5 = 32 buckets per octave. */
+    static constexpr int kSubBits = 5;
+    static constexpr std::uint64_t kSub = 1ull << kSubBits;
+    /** Octave groups: values < 2^31 bucket exactly; larger values
+     *  clamp into the terminal bucket (max() stays exact). */
+    static constexpr int kGroups = 27;
+    static constexpr std::size_t kBuckets =
+        static_cast<std::size_t>(kGroups) * kSub;
+
+    /** Bucket index of @p v (total order, monotone in v). */
+    static constexpr std::size_t
+    bucketIndex(Cycle v)
+    {
+        if (v < kSub)
+            return static_cast<std::size_t>(v);
+        const int msb = std::bit_width(v) - 1;
+        const int group = msb - kSubBits + 1;
+        if (group >= kGroups)
+            return kBuckets - 1;
+        const std::uint64_t sub =
+            (v >> (msb - kSubBits)) & (kSub - 1);
+        return static_cast<std::size_t>(group) * kSub +
+               static_cast<std::size_t>(sub);
+    }
+
+    /** Smallest value mapping to bucket @p index. */
+    static constexpr Cycle
+    bucketFloor(std::size_t index)
+    {
+        if (index < kSub)
+            return static_cast<Cycle>(index);
+        const std::size_t group = index >> kSubBits;
+        const std::uint64_t sub = index & (kSub - 1);
+        return (kSub + sub) << (group - 1);
+    }
+
+    void
+    record(Cycle latency)
+    {
+        ++count_;
+        sum_ += latency;
+        max_ = std::max(max_, latency);
+        ++bins_[bucketIndex(latency)];
+    }
+
+    /** Element-wise merge: associative, commutative, lossless. */
+    void
+    merge(const LogHistogram &other)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            bins_[i] += other.bins_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    Cycle max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Latency at quantile @p q in [0, 1]: the floor of the bucket
+     * holding the target rank, clamped to the exact observed max
+     * (so percentile(1.0) == max()).
+     */
+    Cycle
+    percentile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_ - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += bins_[i];
+            if (seen > target)
+                return std::min(bucketFloor(i), max_);
+        }
+        return max_;
+    }
+
+    /** The standard reporting cut: p50/p95/p99/p999/max + mean. */
+    LatencySummary
+    summary() const
+    {
+        LatencySummary s;
+        s.count = count_;
+        s.mean = mean();
+        s.p50 = percentile(0.50);
+        s.p95 = percentile(0.95);
+        s.p99 = percentile(0.99);
+        s.p999 = percentile(0.999);
+        s.max = max_;
+        return s;
+    }
+
+    void
+    reset()
+    {
+        bins_.fill(0);
+        count_ = sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> bins_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    Cycle max_ = 0;
 };
 
 /** Counters accumulated by the network model. */
@@ -88,6 +254,11 @@ struct NetStats {
     std::uint64_t measuredFlitHops = 0;
     LatencyHistogram totalLatency;    ///< create -> eject
     LatencyHistogram networkLatency;  ///< network entry -> eject
+    /** HDR-style log-bucket twins of the two linear histograms:
+     *  full dynamic range (tail percentiles stay meaningful under
+     *  overload) at fixed size, recorded on the same measure path. */
+    LogHistogram totalLatencyLog;
+    LogHistogram networkLatencyLog;
 
     /** All-time flit-hops (for whole-run energy accounting). */
     std::uint64_t flitHops = 0;

@@ -1,5 +1,9 @@
 #include "sim/traffic.hpp"
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 namespace sf::sim {
 
 std::string
@@ -48,6 +52,112 @@ trafficDestination(TrafficPattern pattern, NodeId src,
       }
     }
     return src;
+}
+
+// ------------------------------------------------------- open loop
+
+std::string
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Bursty: return "bursty";
+      case ArrivalProcess::SelfSimilar: return "selfsim";
+    }
+    return "?";
+}
+
+ArrivalProcess
+parseArrivalProcess(std::string_view name)
+{
+    if (name == "poisson")
+        return ArrivalProcess::Poisson;
+    if (name == "bursty")
+        return ArrivalProcess::Bursty;
+    if (name == "selfsim")
+        return ArrivalProcess::SelfSimilar;
+    throw std::invalid_argument("unknown arrival process: " +
+                                std::string(name));
+}
+
+OpenLoopSource::OpenLoopSource(const ArrivalConfig &config,
+                               double rate, std::uint64_t seed)
+    : cfg_(config),
+      rng_(seed),
+      onRate_(rate),
+      modulated_(config.process != ArrivalProcess::Poisson)
+{
+    if (rate <= 0.0) {
+        onRate_ = 0.0;
+        return;
+    }
+    if (modulated_) {
+        onRate_ = rate * cfg_.burstFactor;
+        // Random initial phase: each node starts on with the duty
+        // probability 1/B, so dwell states never align across the
+        // network at cycle 0 (which would be a synchronized burst
+        // no open-loop client fleet produces).
+        const bool start_on = rng_.chance(1.0 / cfg_.burstFactor);
+        on_ = !start_on;
+        toggleState();  // flips into the sampled state and draws
+                        // its initial dwell
+    }
+}
+
+double
+OpenLoopSource::expo(double mean)
+{
+    // Inverse CDF; 1 - u maps [0,1) onto (0,1] so log() is finite.
+    return -mean * std::log(1.0 - rng_.uniform());
+}
+
+double
+OpenLoopSource::pareto(double mean)
+{
+    // Pareto(xm, a) has mean xm * a / (a - 1); invert for xm.
+    const double a = cfg_.paretoShape;
+    const double xm = mean * (a - 1.0) / a;
+    return xm / std::pow(1.0 - rng_.uniform(), 1.0 / a);
+}
+
+void
+OpenLoopSource::toggleState()
+{
+    on_ = !on_;
+    const double mean =
+        on_ ? cfg_.onMean : cfg_.onMean * (cfg_.burstFactor - 1.0);
+    const double dwell =
+        cfg_.process == ArrivalProcess::SelfSimilar ? pareto(mean)
+                                                    : expo(mean);
+    stateEnd_ = time_ + dwell;
+}
+
+Cycle
+OpenLoopSource::next()
+{
+    if (onRate_ <= 0.0)
+        return std::numeric_limits<Cycle>::max();
+    if (!modulated_) {
+        time_ += expo(1.0 / onRate_);
+        return static_cast<Cycle>(time_);
+    }
+    for (;;) {
+        if (!on_) {
+            time_ = stateEnd_;
+            toggleState();
+            continue;
+        }
+        const double dt = expo(1.0 / onRate_);
+        if (time_ + dt <= stateEnd_) {
+            time_ += dt;
+            return static_cast<Cycle>(time_);
+        }
+        // The draw crosses the end of the on dwell: the residual
+        // is discarded at the renewal boundary (negligible at the
+        // configured dwell lengths; realized load is reported).
+        time_ = stateEnd_;
+        toggleState();
+    }
 }
 
 } // namespace sf::sim

@@ -148,6 +148,87 @@ TEST(Diff, NanMetricsCompareEqualAndNanFlipsGate)
     EXPECT_TRUE(disk_nd.clean());
 }
 
+/** Mutable member lookup for test surgery on report documents. */
+Json &
+member(Json &obj, const char *key)
+{
+    for (auto &m : obj.asObject()) {
+        if (m.first == key)
+            return m.second;
+    }
+    throw std::runtime_error(std::string("missing key ") + key);
+}
+
+/**
+ * Percentile metrics (p50/p95/p99/p999/max, and prefixed spins
+ * like net_p99) are integral functions of the deterministic event
+ * stream: there is no float noise for a tolerance to absorb, so
+ * *any* drift gates no matter how loose the tolerance — while a
+ * plain metric with the same relative delta still passes.
+ */
+TEST(Diff, PercentileMetricsExactCompareRegardlessOfTolerance)
+{
+    EXPECT_TRUE(isPercentileMetric("p50"));
+    EXPECT_TRUE(isPercentileMetric("p999"));
+    EXPECT_TRUE(isPercentileMetric("max"));
+    EXPECT_TRUE(isPercentileMetric("net_p99"));
+    EXPECT_TRUE(isPercentileMetric("latency_max"));
+    EXPECT_FALSE(isPercentileMetric("p"));
+    EXPECT_FALSE(isPercentileMetric("power"));
+    EXPECT_FALSE(isPercentileMetric("saturation_rate"));
+    EXPECT_FALSE(isPercentileMetric("maxima"));
+
+    const auto doc = [](std::int64_t p99, double sat) {
+        Json r = Json::object();
+        r.set("id", "n64/SF");
+        r.set("seed", std::uint64_t{1});
+        r.set("params", Json::object());
+        Json m = Json::object();
+        m.set("p99", p99);
+        m.set("saturation_rate", sat);
+        r.set("metrics", std::move(m));
+        Json e = Json::object();
+        e.set("name", "hockey_stick");
+        e.set("deterministic", true);
+        Json runs = Json::array();
+        runs.push(std::move(r));
+        e.set("runs", std::move(runs));
+        Json d = Json::object();
+        d.set("schema", "sf-exp-report-v1");
+        Json exps = Json::array();
+        exps.push(std::move(e));
+        d.set("experiments", std::move(exps));
+        return d;
+    };
+
+    DiffOptions loose;
+    loose.tolerance = 0.50;  // would excuse a 50% swing
+
+    // Both metrics drift ~2%: the plain metric passes under the
+    // loose tolerance, the percentile still gates.
+    const ReportDiff d =
+        diffReports(doc(100, 0.50), doc(102, 0.51), loose);
+    EXPECT_FALSE(d.clean());
+    EXPECT_EQ(d.regressions, 1u);
+    ASSERT_EQ(d.changed.size(), 2u);
+    for (const MetricDelta &delta : d.changed) {
+        EXPECT_EQ(delta.regression, delta.metric == "p99")
+            << delta.metric;
+    }
+
+    // Unchanged percentiles stay clean, and the non-deterministic
+    // exemption still outranks the exact-compare rule.
+    EXPECT_TRUE(
+        diffReports(doc(100, 0.50), doc(100, 0.50), loose).clean());
+    Json nd_a = doc(100, 0.50);
+    Json nd_b = doc(102, 0.50);
+    member(member(nd_a, "experiments").asArray()[0],
+           "deterministic") = Json(false);
+    member(member(nd_b, "experiments").asArray()[0],
+           "deterministic") = Json(false);
+    EXPECT_TRUE(diffReports(nd_a, nd_b, loose).clean());
+}
+
 TEST(Diff, NonDeterministicExperimentsNeverGate)
 {
     const Json a = report(100.0, 200.0, false);
@@ -158,17 +239,6 @@ TEST(Diff, NonDeterministicExperimentsNeverGate)
     EXPECT_FALSE(d.changed[0].regression);
     EXPECT_NE(renderDiff(d).find("non-deterministic"),
               std::string::npos);
-}
-
-/** Mutable member lookup for test surgery on report documents. */
-Json &
-member(Json &obj, const char *key)
-{
-    for (auto &m : obj.asObject()) {
-        if (m.first == key)
-            return m.second;
-    }
-    throw std::runtime_error(std::string("missing key ") + key);
 }
 
 TEST(Diff, StructuralMismatchesGate)

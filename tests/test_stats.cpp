@@ -47,17 +47,40 @@ TEST(LatencyHistogram, OverflowBucketKeepsCountAndMean)
     h.record(1000);  // beyond the bins
     EXPECT_EQ(h.count(), 2u);
     EXPECT_DOUBLE_EQ(h.mean(), 504.0);
-    // The overflowed sample reports as "beyond the last bin".
-    EXPECT_EQ(h.percentile(1.0), 16u);
+    EXPECT_EQ(h.overflow(), 1u);
+    // A quantile landing in the overflow bucket reports the exact
+    // observed maximum, not the meaningless bin count (16).
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LatencyHistogram, OverflowQuantilesNeverReportBinCount)
+{
+    // Regression: every sample beyond the linear range used to
+    // make *all* high quantiles report bins_.size() — a constant
+    // unrelated to any latency. Now they report the observed max.
+    LatencyHistogram h(8);
+    for (int i = 0; i < 99; ++i)
+        h.record(2);
+    h.record(500000);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(0.99), 2u);
+    EXPECT_EQ(h.percentile(1.0), 500000u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.max(), 500000u);
 }
 
 TEST(LatencyHistogram, ResetClearsEverything)
 {
-    LatencyHistogram h;
+    LatencyHistogram h(16);
     h.record(5);
+    h.record(1000);
     h.reset();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
 }
 
 TEST(NetStats, AvgHopsGuardsDivisionByZero)
