@@ -33,6 +33,10 @@ struct CliOptions {
      *  --jobs, an execution knob: reports are byte-identical at
      *  every value, so resume may override it freely. */
     int shards = 1;
+    /** Memoized route plane (sim.routeCache). An execution knob
+     *  like --shards — byte-identical on or off — kept as a flag
+     *  for A/B benchmarking; resume may override it freely. */
+    bool routeCache = true;
     std::string outPath;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
@@ -73,6 +77,8 @@ printUsage(std::FILE *to)
         "  --shards N    route-plane shards inside each cycle\n"
         "                 simulation (default 1 = serial engine;\n"
         "                 reports are byte-identical at any N)\n"
+        "  --route-cache on|off  memoized route plane (default on;\n"
+        "                 reports are byte-identical either way)\n"
         "  --out FILE    write the JSON report to FILE\n"
         "  --effort E    quick | default | full\n"
         "  --quick       same as --effort quick\n"
@@ -92,8 +98,8 @@ printUsage(std::FILE *to)
         "interrupt,\n"
         "                 exit 3); finish with `sfx resume DIR`\n"
         "\n"
-        "resume options: --jobs, --shards, --out, --timing, "
-        "--quiet, --max-runs\n"
+        "resume options: --jobs, --shards, --route-cache, --out, "
+        "--timing, --quiet, --max-runs\n"
         "(pattern, effort, seed, and --runs come from the "
         "checkpoint's meta.json)\n"
         "\n"
@@ -172,6 +178,22 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             if (opts.shards < 1) {
                 std::fprintf(stderr,
                              "sfx: --shards must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--route-cache") {
+            char *v = need_value("--route-cache");
+            if (!v)
+                return false;
+            const std::string_view val = v;
+            if (val == "on") {
+                opts.routeCache = true;
+            } else if (val == "off") {
+                opts.routeCache = false;
+            } else {
+                std::fprintf(stderr,
+                             "sfx: --route-cache needs on or off, "
+                             "got '%s'\n",
+                             v);
                 return false;
             }
         } else if (arg == "--out" || arg == "-o") {
@@ -355,6 +377,7 @@ doRun(const CliOptions &opts)
     SchedulerOptions sched;
     sched.jobs = opts.jobs;
     sched.shards = opts.shards;
+    sched.routeCache = opts.routeCache;
     sched.effort = opts.effort;
     sched.baseSeed = opts.baseSeed;
     sched.store = store.get();

@@ -73,6 +73,7 @@ adaptiveSpec()
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
+                    cfg.routeCache = rc.routeCache;
                     cfg.adaptive = adaptive;
                     Json m = Json::object();
                     m.set("saturation_rate",
@@ -120,6 +121,7 @@ balanceSpec()
                 sim::SimConfig cfg;
                 cfg.seed = rc.seed;
                 cfg.shards = rc.shards;
+                cfg.routeCache = rc.routeCache;
                 Json m = Json::object();
                 m.set("avg_hops", stats.average);
                 m.set("diameter", static_cast<std::int64_t>(
@@ -282,6 +284,7 @@ unidirSpec()
                     sim::SimConfig cfg;
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
+                    cfg.routeCache = rc.routeCache;
                     Json m = Json::object();
                     m.set("avg_hops",
                           net::allPairsStats(topo->graph())

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/route_cache.hpp"
 #include "core/string_figure.hpp"
 #include "core/topology_builder.hpp"
 #include "exp/experiments/builtin.hpp"
@@ -175,6 +176,52 @@ microSpec()
         for (const std::size_t n : {256u, 1296u})
             add_decision("adaptive_first_hop", n, true);
 
+        // The memoized route plane's unit cost: the same decision
+        // served from a warm core::RouteCache instead of the table
+        // scan + multi-space distance ranking. The gap between
+        // this and greedy_decision is the per-lookup saving the
+        // simulator's cached fast path banks.
+        for (const std::size_t n : {256u, 1296u}) {
+            for (const bool first_hop : {false, true}) {
+                RunSpec run;
+                const char *which = first_hop
+                                        ? "cached_first_hop"
+                                        : "cached_decision";
+                run.id = fmt("%s/n%zu", which, n);
+                run.params.set("op", which);
+                run.params.set("nodes", n);
+                run.params.set("reps", reps);
+                run.body = [n, first_hop, budget_ms, reps](
+                               const RunContext &rc) -> Json {
+                    const core::StringFigure topo(
+                        paramsFor(n, rc.baseSeed));
+                    core::RouteCache cache(topo);
+                    Rng rng(rc.seed);
+                    LinkId out[net::kMaxRouteCandidates];
+                    const auto stats = timedReps(
+                        [&] {
+                            const auto s = static_cast<NodeId>(
+                                rng.below(n));
+                            const auto t = static_cast<NodeId>(
+                                rng.below(n));
+                            if (s == t)
+                                return;
+                            cache.candidates(s, t, first_hop,
+                                             out);
+                        },
+                        reps, budget_ms);
+                    Json m = Json::object();
+                    setTimingMetrics(m, "ns_per_decision",
+                                     stats);
+                    m.set("cache_rows",
+                          first_hop ? cache.firstHopRows()
+                                    : cache.committedRows());
+                    return m;
+                };
+                runs.push_back(std::move(run));
+            }
+        }
+
         for (const std::size_t n : {256u, 1296u}) {
             RunSpec run;
             run.id = fmt("routed_walk/n%zu", n);
@@ -319,11 +366,22 @@ resetPeakRss()
  * scaling curve of the sharded engine. Every row owns a WorkPool of
  * exactly its shard count (independent of --jobs), so the s1 row is
  * the serial engine's number and the s>1 rows measure the sharded
- * one; `simulated_cycles` / `measured_packets` / `flit_hops` must
- * agree across the shard rows of one load point — the benchmark
- * doubles as determinism evidence. The `cycles_per_sec` metric is
- * the engine's headline throughput; the perf-smoke CI job archives
- * the report so the trajectory is visible PR over PR.
+ * one. Each (point, shards) cell runs with the memoized route
+ * plane on (the default engine) and off (`.../nocache` rows), so
+ * the report carries the cache's speedup next to the shard curve;
+ * `simulated_cycles` / `measured_packets` / `flit_hops` must agree
+ * across every row of one load point — shard count and cache state
+ * alike — so the benchmark doubles as determinism evidence. The
+ * `cycles_per_sec` metric is the engine's headline throughput; the
+ * perf-smoke CI job archives the report so the trajectory is
+ * visible PR over PR.
+ *
+ * The per-point `wavefront` rows run the serial engine with
+ * SimConfig::profileWavefront and report the measured commit-
+ * wavefront cost model (ROADMAP item 5): arbitration-walk length
+ * and graph-adjacent dependency-chain depth per cycle. Their
+ * ratio (avg_walk / avg_depth) bounds the speedup any order-
+ * preserving out-of-order arbitration schedule could extract.
  */
 ExperimentSpec
 microSimulatorSpec()
@@ -358,33 +416,43 @@ microSimulatorSpec()
         };
         for (const auto &point : points) {
             for (const int shards : shard_counts) {
+              for (const bool cache : {true, false}) {
                 RunSpec run;
-                run.id = fmt("n1024/uniform/%s/s%d", point.label,
-                             shards);
+                // Cache-on rows keep the historical ids so the
+                // perf trajectory stays comparable PR over PR;
+                // the A/B twin rides a `/nocache` suffix.
+                run.id = cache
+                             ? fmt("n1024/uniform/%s/s%d",
+                                   point.label, shards)
+                             : fmt("n1024/uniform/%s/s%d/nocache",
+                                   point.label, shards);
                 run.params.set("nodes", 1024);
                 run.params.set("pattern", "uniform");
                 run.params.set("load", point.label);
                 run.params.set("rate", point.rate);
                 run.params.set("shards", shards);
+                run.params.set("route_cache", cache);
                 run.params.set("reps", reps);
                 const double rate = point.rate;
                 const std::string point_id =
                     fmt("n1024/uniform/%s", point.label);
-                run.body = [rate, reps, shards,
+                run.body = [rate, reps, shards, cache,
                             point_id](const RunContext &rc) -> Json {
                     resetPeakRss();
                     const auto topo = topos::cachedTopology(
                         topos::TopoKind::SF, 1024, rc.baseSeed);
                     sim::SimConfig cfg;
                     // Seeded per load point, not per row: every
-                    // shard row of one point then simulates the
-                    // identical event sequence, so equal
-                    // simulated_cycles / measured_packets /
-                    // flit_hops across s1..s8 are determinism
-                    // evidence right in the benchmark report.
+                    // shard and cache row of one point then
+                    // simulates the identical event sequence, so
+                    // equal simulated_cycles / measured_packets /
+                    // flit_hops across the point's rows are
+                    // determinism evidence right in the benchmark
+                    // report.
                     cfg.seed = deriveSeed("micro_simulator",
                                           point_id, rc.baseSeed);
                     cfg.shards = shards;
+                    cfg.routeCache = cache;
                     // A private pool sized to the shard count:
                     // the row measures the sharded engine itself,
                     // not whatever --jobs left idle. (Thread
@@ -433,6 +501,55 @@ microSimulatorSpec()
                     m.set("saturated", result.saturated);
                     m.set("process_peak_rss_kb",
                           processPeakRssKb());
+                    return m;
+                };
+                runs.push_back(std::move(run));
+              }
+            }
+            // Commit-wavefront cost model row (ROADMAP item 5):
+            // one serial profiled run per load point. Reported
+            // metrics are pure functions of the deterministic
+            // event stream; only this experiment's wall-clock
+            // framing keeps them out of byte-identity gates.
+            {
+                RunSpec run;
+                run.id = fmt("n1024/uniform/%s/wavefront",
+                             point.label);
+                run.params.set("nodes", 1024);
+                run.params.set("pattern", "uniform");
+                run.params.set("load", point.label);
+                run.params.set("rate", point.rate);
+                run.params.set("op", "wavefront_profile");
+                const double rate = point.rate;
+                const std::string point_id =
+                    fmt("n1024/uniform/%s", point.label);
+                run.body = [rate,
+                            point_id](const RunContext &rc) -> Json {
+                    const auto topo = topos::cachedTopology(
+                        topos::TopoKind::SF, 1024, rc.baseSeed);
+                    sim::SimConfig cfg;
+                    cfg.seed = deriveSeed("micro_simulator",
+                                          point_id, rc.baseSeed);
+                    cfg.profileWavefront = true;
+                    const auto result = sim::runSynthetic(
+                        *topo,
+                        sim::TrafficPattern::UniformRandom, rate,
+                        cfg, sim::RunPhases::latencyCurve());
+                    Json m = Json::object();
+                    m.set("wavefront_cycles",
+                          result.wavefrontCycles);
+                    m.set("avg_walk", result.wavefrontAvgWalk);
+                    m.set("max_walk", result.wavefrontMaxWalk);
+                    m.set("avg_depth", result.wavefrontAvgDepth);
+                    m.set("max_depth", result.wavefrontMaxDepth);
+                    m.set("walk_over_depth",
+                          result.wavefrontAvgDepth > 0.0
+                              ? result.wavefrontAvgWalk /
+                                    result.wavefrontAvgDepth
+                              : 0.0);
+                    m.set("simulated_cycles",
+                          static_cast<std::uint64_t>(
+                              result.simulatedCycles));
                     return m;
                 };
                 runs.push_back(std::move(run));

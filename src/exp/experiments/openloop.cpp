@@ -34,6 +34,7 @@ simConfigFor(const RunContext &rc)
     sim::SimConfig cfg;
     cfg.seed = rc.seed;
     cfg.shards = rc.shards;
+    cfg.routeCache = rc.routeCache;
     return cfg;
 }
 

@@ -32,9 +32,11 @@ simConfigFor(const RunContext &rc)
     // topology construction (below) follows the base seed so every
     // run in a sweep simulates the same generated network.
     cfg.seed = rc.seed;
-    // Route-plane sharding (`sfx --shards`): byte-identical at any
-    // count, so an execution knob like jobs, not a grid parameter.
+    // Route-plane sharding (`sfx --shards`) and the memoized route
+    // plane (`sfx --route-cache`): byte-identical at any setting,
+    // so execution knobs like jobs, not grid parameters.
     cfg.shards = rc.shards;
+    cfg.routeCache = rc.routeCache;
     return cfg;
 }
 

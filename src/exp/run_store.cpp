@@ -1,5 +1,6 @@
 #include "exp/run_store.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <filesystem>
 #include <stdexcept>
@@ -79,20 +80,40 @@ checksumOf(const Json &entry)
     return hex16(fnv1a64(payload.dump()));
 }
 
+/** Best-effort fsync of a directory's entry list (some
+ *  filesystems refuse directory handles; rename atomicity does not
+ *  depend on it, only rename *durability* does). */
+void
+fsyncDirBestEffort(const fs::path &dir)
+{
+    const int dir_fd =
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+}
+
 /**
  * Atomic *and durable* replacement of @p path: write a temp file,
- * fsync it, rename over the target, then fsync the directory. The
- * entry appears fully written or not at all — and once this
- * returns, it survives a power loss. Rename-without-fsync is not
- * enough: the journaled rename can reach disk before the payload
- * blocks do, and after a crash the entry then exists with missing
- * bytes — the checksum quarantines it and a run that had actually
- * completed is silently re-executed (or, for meta.json, the whole
- * checkpoint is rejected). Throws std::runtime_error on any
- * failure, leaving no temp file behind.
+ * fsync it, rename over the target, then (when @p sync_dir) fsync
+ * the directory. The entry appears fully written or not at all —
+ * and once this returns with @p sync_dir, it survives a power
+ * loss. Rename-without-fsync is not enough: the journaled rename
+ * can reach disk before the payload blocks do, and after a crash
+ * the entry then exists with missing bytes — the checksum
+ * quarantines it and a run that had actually completed is silently
+ * re-executed (or, for meta.json, the whole checkpoint is
+ * rejected). Callers that pass sync_dir=false keep per-entry
+ * atomicity (the payload is fsynced *before* the rename, so a
+ * crash leaves either the complete file or none) but must issue
+ * the parent-directory fsync themselves to make the rename
+ * durable — RunStore::store batches exactly that. Throws
+ * std::runtime_error on any failure, leaving no temp file behind.
  */
 void
-writeFileAtomic(const fs::path &path, const std::string &text)
+writeFileAtomic(const fs::path &path, const std::string &text,
+                bool sync_dir = true)
 {
     const fs::path tmp = path.string() + ".tmp";
     const int fd = ::open(tmp.c_str(),
@@ -129,14 +150,9 @@ writeFileAtomic(const fs::path &path, const std::string &text)
         throw;
     }
     // The rename itself is only durable once the directory's
-    // entry list is: fsync the parent (best-effort where the
-    // filesystem refuses directory handles).
-    const int dir_fd = ::open(path.parent_path().c_str(),
-                              O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (dir_fd >= 0) {
-        ::fsync(dir_fd);
-        ::close(dir_fd);
-    }
+    // entry list is.
+    if (sync_dir)
+        fsyncDirBestEffort(path.parent_path());
 }
 
 } // namespace
@@ -357,16 +373,55 @@ RunStore::store(const Key &key, const RunResult &result)
     const std::string path = entryPath(key.experiment, key.runId);
     try {
         fs::create_directories(fs::path(path).parent_path());
-        writeFileAtomic(path, entry.dump(2) + "\n");
+        // sync_dir=false: the entry is atomic on its own (payload
+        // fsynced before the rename); the parent-directory fsync
+        // that makes the rename *durable* is batched below, one
+        // directory pass per kDirSyncInterval entries instead of
+        // one fsync per entry.
+        writeFileAtomic(path, entry.dump(2) + "\n",
+                        /*sync_dir=*/false);
     } catch (const std::exception &) {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.writeErrors;
         return;
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.writes;
-    logEvent("store", key);
+    std::vector<std::string> to_sync;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.writes;
+        logEvent("store", key);
+        const std::string parent =
+            fs::path(path).parent_path().string();
+        if (std::find(dirtyDirs_.begin(), dirtyDirs_.end(),
+                      parent) == dirtyDirs_.end())
+            dirtyDirs_.push_back(parent);
+        if (++pendingDirSync_ >= kDirSyncInterval) {
+            to_sync.swap(dirtyDirs_);
+            pendingDirSync_ = 0;
+            stats_.dirSyncs += to_sync.size();
+        }
+    }
+    // fsync outside the lock: other workers keep checkpointing
+    // while this batch's directories flush.
+    for (const std::string &dir : to_sync)
+        fsyncDirBestEffort(dir);
 }
+
+void
+RunStore::flushDurability()
+{
+    std::vector<std::string> to_sync;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        to_sync.swap(dirtyDirs_);
+        pendingDirSync_ = 0;
+        stats_.dirSyncs += to_sync.size();
+    }
+    for (const std::string &dir : to_sync)
+        fsyncDirBestEffort(dir);
+}
+
+RunStore::~RunStore() { flushDurability(); }
 
 RunStore::Stats
 RunStore::stats() const

@@ -15,8 +15,16 @@
  *   DIR/journal.jsonl                   append-only event stream
  *
  * Durability discipline:
- *  - Entries are written atomically: full temp file, then rename,
- *    so a crash mid-write never leaves a half entry under runs/.
+ *  - Entries are written atomically: full temp file, fsync, then
+ *    rename, so a crash mid-write never leaves a half entry under
+ *    runs/.
+ *  - The parent-directory fsync that makes each rename *durable*
+ *    is batched: one pass over the dirty directories every
+ *    kDirSyncInterval stored entries (plus a flush on destruction)
+ *    instead of one fsync per entry. A crash can therefore lose
+ *    only the *existence* of the most recent entries — never their
+ *    integrity — and a lost entry is just a miss that re-executes
+ *    on resume. meta.json stays immediately durable.
  *  - Every entry embeds a checksum over its own payload; load
  *    recomputes it, and any corruption (truncation, bit flip, bad
  *    JSON) moves the file to quarantine/ and reports a miss, so the
@@ -89,10 +97,22 @@ class RunStore {
         std::size_t dropped = 0;
         /** Persist attempts that failed (disk errors). */
         std::size_t writeErrors = 0;
+        /** Parent-directory fsyncs issued by the durability
+         *  batcher (store() flushes + flushDurability()). */
+        std::size_t dirSyncs = 0;
     };
+
+    /** Entries stored between parent-directory fsync batches: the
+     *  most store() calls whose durability can be pending at once
+     *  (a crash loses at most this many entries — as misses that
+     *  re-execute on resume, never as corruption). */
+    static constexpr std::size_t kDirSyncInterval = 32;
 
     /** Open (creating as needed) the checkpoint directory. */
     explicit RunStore(std::string dir);
+
+    /** Flushes any batched directory fsyncs (flushDurability). */
+    ~RunStore();
 
     const std::string &dir() const { return root_; }
 
@@ -140,6 +160,17 @@ class RunStore {
      */
     void store(const Key &key, const RunResult &result);
 
+    /**
+     * Fsync every directory with entries renamed in since the last
+     * batch flush, making all previously stored entries durable.
+     * Called automatically every kDirSyncInterval stores and on
+     * destruction; callers needing a durability point mid-sweep
+     * (e.g. before reporting progress externally) may invoke it
+     * directly. Best-effort like the per-entry path: filesystems
+     * that refuse directory handles simply skip the fsync.
+     */
+    void flushDurability();
+
     Stats stats() const;
 
     /** Absolute path of the entry file for (experiment, run id). */
@@ -163,9 +194,14 @@ class RunStore {
     void quarantine(const std::string &path, const Key &key);
 
     std::string root_;
-    mutable std::mutex mutex_; ///< guards stats_ + journal appends
+    mutable std::mutex mutex_; ///< guards stats_, journal appends,
+                               ///< and the dir-sync batch state
     Stats stats_;
     std::atomic<std::size_t> writeAttempts_{0};
+    /** Directories holding renames not yet made durable. */
+    std::vector<std::string> dirtyDirs_;
+    /** Entries stored since the last batch flush. */
+    std::size_t pendingDirSync_ = 0;
 };
 
 } // namespace sf::exp

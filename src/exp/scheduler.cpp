@@ -64,6 +64,7 @@ runExperiment(const ExperimentSpec &exp,
             ctx.effort = opts.effort;
             ctx.executor = &pool;
             ctx.shards = opts.shards > 0 ? opts.shards : 1;
+            ctx.routeCache = opts.routeCache;
             result.seed = ctx.seed;
             const auto progress = [&] {
                 const std::size_t completed =

@@ -51,6 +51,9 @@ struct SchedulerOptions {
     /** Route-plane shards per simulation (RunContext::shards);
      *  results are identical at any value, like jobs. */
     int shards = 1;
+    /** Memoized route plane (RunContext::routeCache); results are
+     *  identical on or off, like jobs and shards. */
+    bool routeCache = true;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
     /**

@@ -84,6 +84,16 @@ struct RunContext {
      * execution knob, not part of the run grid or the spec hash.
      */
     int shards = 1;
+    /**
+     * Memoized route plane (`sfx --route-cache`,
+     * sim::SimConfig::routeCache): bodies that run the flit
+     * simulator should copy this into their SimConfig. Results are
+     * byte-identical on or off — a cached route is the same pure
+     * function's output — so, like shards, it is an execution knob
+     * kept only for A/B benchmarking, never part of the run grid
+     * or the spec hash.
+     */
+    bool routeCache = true;
 };
 
 /** One independent unit of work inside an experiment. */

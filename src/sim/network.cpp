@@ -52,6 +52,10 @@ NetworkModel::NetworkModel(const net::Topology &topo,
     pendingArrivals_.assign(n, 0);
     activeVcs_.resize(n);
     nodeActive_.assign(n, 0);
+    if (cfg.profileWavefront) {
+        wfStamp_.assign(n, 0);
+        wfDepth_.assign(n, 0);
+    }
 }
 
 void
@@ -146,6 +150,11 @@ NetworkModel::onTopologyChanged()
     routeExecutor_ = nullptr;
     routeWork_.clear();
     routeTasks_.clear();
+    // Same premise, same fate for the memoized route plane: a
+    // cached route is only provably the value the loop would
+    // compute while the topology cannot change under it.
+    reconfigured_ = true;
+    routeCache_.reset();
 }
 
 void
@@ -157,6 +166,26 @@ NetworkModel::setRouteExecutor(Executor *executor)
     routeTasks_.clear();
     if (routeExecutor_)
         routeWork_.resize(static_cast<std::size_t>(cfg_.shards));
+}
+
+void
+NetworkModel::enableRouteCache()
+{
+    if (!cfg_.routeCache || reconfigured_ || routeCache_)
+        return;
+    auto cache = std::make_unique<core::RouteCache>(*topo_);
+    if (cache->active())
+        routeCache_ = std::move(cache);
+}
+
+std::size_t
+NetworkModel::routeCandidatesFor(NodeId node, Packet &p)
+{
+    if (routeCache_)
+        return routeCache_->candidates(node, p.dst, p.hops == 0,
+                                       p.candidates);
+    return topo_->routeCandidates(node, p.dst, p.hops == 0,
+                                  p.candidates);
 }
 
 void
@@ -219,11 +248,13 @@ NetworkModel::routeShard(std::size_t shard)
     // Runs concurrently with other shards: every job writes only
     // its own Packet record (a head sits in exactly one queue, so
     // slots never repeat across jobs) and reads only the immutable
-    // topology, whose const routing paths are thread-safe.
+    // topology, whose const routing paths are thread-safe. Route-
+    // cache rows are keyed by the job's node, and a shard's node
+    // block is exclusively its own, so the lazy fills inside
+    // routeCandidatesFor are single-writer too.
     for (const RouteJob &job : routeWork_[shard]) {
         Packet &p = pool_.at(job.slot);
-        const std::size_t count = topo_->routeCandidates(
-            job.node, p.dst, p.hops == 0, p.candidates);
+        const std::size_t count = routeCandidatesFor(job.node, p);
         if (count > 0) {
             p.numCandidates = static_cast<std::uint8_t>(count);
             p.routed = true;
@@ -296,8 +327,34 @@ NetworkModel::step(Cycle now)
         precomputeRoutes(now);
 
     // 2. Arbitrate all routers with pending work.
+    const bool profile =
+        cfg_.profileWavefront && !activeNodes_.empty();
+    std::uint64_t wfWalked = 0;
+    std::uint64_t wfCycleDepth = 0;
     for (std::size_t i = 0; i < activeNodes_.size();) {
         const NodeId node = activeNodes_[i];
+        if (profile) {
+            // Dependency-chain depth of the walk in its real
+            // order: this node depends on every graph-adjacent
+            // node already arbitrated this cycle (their drains and
+            // reservations touch link/VC state this node reads).
+            ++wfWalked;
+            const Cycle stamp = now + 1;
+            std::uint32_t depth = 1;
+            const net::Graph &g = topo_->graph();
+            const auto relax = [&](NodeId v) {
+                if (wfStamp_[v] == stamp)
+                    depth = std::max(depth, wfDepth_[v] + 1);
+            };
+            for (const LinkId l : g.outLinks(node))
+                relax(g.link(l).dst);
+            for (const LinkId l : g.inLinks(node))
+                relax(g.link(l).src);
+            wfStamp_[node] = stamp;
+            wfDepth_[node] = depth;
+            wfCycleDepth = std::max<std::uint64_t>(wfCycleDepth,
+                                                   depth);
+        }
         arbitrateNode(node, now);
         if (activeVcs_[node].empty() && sourceQueue_[node].empty()) {
             nodeActive_[node] = 0;
@@ -306,6 +363,15 @@ NetworkModel::step(Cycle now)
         } else {
             ++i;
         }
+    }
+    if (profile && wfWalked > 0) {
+        ++stats_.wavefrontCycles;
+        stats_.wavefrontNodesWalked += wfWalked;
+        stats_.wavefrontMaxWalk =
+            std::max(stats_.wavefrontMaxWalk, wfWalked);
+        stats_.wavefrontDepthSum += wfCycleDepth;
+        stats_.wavefrontMaxDepth =
+            std::max(stats_.wavefrontMaxDepth, wfCycleDepth);
     }
 
     // 3. Deadlock watchdog.
@@ -429,9 +495,8 @@ NetworkModel::computeRoute(NodeId node, Packet &p, Cycle now)
 
     if (!p.escape) {
         // Zero-copy fast path: candidates land directly in the
-        // packet record.
-        const std::size_t count = topo_->routeCandidates(
-            node, p.dst, p.hops == 0, p.candidates);
+        // packet record (via the route cache when engaged).
+        const std::size_t count = routeCandidatesFor(node, p);
         if (count > 0) {
             p.numCandidates = static_cast<std::uint8_t>(count);
             p.routed = true;

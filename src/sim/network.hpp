@@ -71,6 +71,20 @@
  * permanently disables the route plane for the instance; the
  * simulator layer only enables sharding for runSynthetic, which
  * never reconfigures.
+ *
+ * Memoized route plane (cfg.routeCache + enableRouteCache): the
+ * same purity argument lets the greedy route computation be cached
+ * outright in per-topology next-hop tables (core/route_cache.hpp)
+ * instead of re-derived per head-packet cycle — a cached value is
+ * the identical pure function's output, so the event stream is
+ * byte-identical with the cache on or off, at any shard count.
+ * Rows are keyed by the `current` node: under sharding a shard
+ * only looks up its own contiguous node block, and the serial loop
+ * only touches the cache outside the route phase (the executor
+ * barrier), so the lazy fills are single-writer per row and need
+ * no atomics. Gated exactly like the route executor: enabled only
+ * from immutable-topology entry points, and onTopologyChanged
+ * retires it for the model's lifetime.
  */
 
 #pragma once
@@ -79,6 +93,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/route_cache.hpp"
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "net/updown.hpp"
@@ -164,6 +179,21 @@ class NetworkModel
      * Results are byte-identical either way and at any shard count.
      */
     void setRouteExecutor(Executor *executor);
+
+    /**
+     * Enable the memoized route plane (see the file header): greedy
+     * route lookups go through a lazily-filled core::RouteCache
+     * instead of the virtual topology call. No-op when
+     * cfg.routeCache is off, after any onTopologyChanged (the
+     * immutability premise is gone for good), or when the topology
+     * cannot be index-encoded. Byte-identical results either way —
+     * only callers whose topology stays immutable for the model's
+     * lifetime (runSynthetic / runOpenLoop) should call this.
+     */
+    void enableRouteCache();
+
+    /** Is the memoized route plane currently engaged? (tests) */
+    bool routeCacheActive() const { return routeCache_ != nullptr; }
 
     /** The configured topology. */
     const net::Topology &topology() const { return *topo_; }
@@ -269,6 +299,14 @@ class NetworkModel
      */
     bool computeRoute(NodeId node, Packet &p, Cycle now);
     /**
+     * The greedy fast-path lookup both route planes share: fill
+     * @p p's candidates for its next hop from @p node, through the
+     * route cache when one is engaged, directly otherwise.
+     *
+     * @return Number of candidates written into p.candidates.
+     */
+    std::size_t routeCandidatesFor(NodeId node, Packet &p);
+    /**
      * Try to move head packet @p p (pool slot @p slot) one hop, or
      * eject it at its destination.
      *
@@ -318,6 +356,17 @@ class NetworkModel
     /** Reusable shard tasks, built once (steady state allocates
      *  nothing, matching the rest of the data plane). */
     std::vector<std::function<void()>> routeTasks_;
+
+    /** Memoized route plane (null = direct virtual calls). */
+    std::unique_ptr<core::RouteCache> routeCache_;
+    /** Set by onTopologyChanged: immutability is gone for good, so
+     *  later enableRouteCache calls become no-ops. */
+    bool reconfigured_ = false;
+
+    // Commit-wavefront cost model (cfg_.profileWavefront): per-node
+    // scratch for the dependency-depth recurrence, sized lazily.
+    std::vector<Cycle> wfStamp_;          ///< cycle of last arb
+    std::vector<std::uint32_t> wfDepth_;  ///< chain depth then
 
     mutable std::unique_ptr<net::UpDownRouting> updown_;
     DeliverHandler onDeliver_;

@@ -55,6 +55,26 @@ struct SimConfig {
      * and runs the exact serial engine.
      */
     int shards = 1;
+    /**
+     * Memoized route plane (`sfx --route-cache`): cache the pure
+     * greedy route computation per (current, dest) pair in compact
+     * per-topology next-hop tables (core/route_cache.hpp). A cached
+     * value is the same pure function's output, so results are
+     * byte-identical on or off — an execution knob like jobs and
+     * shards, kept for A/B benchmarking. The simulator only engages
+     * it on immutable-topology runs, and a mid-run reconfiguration
+     * retires it for the model's lifetime.
+     */
+    bool routeCache = true;
+    /**
+     * Commit-wavefront cost-model instrumentation (ROADMAP item 5):
+     * per-cycle counters for the serial arbitration walk length and
+     * the dependency-chain depth across graph-adjacent nodes, the
+     * bound on any deterministic out-of-order arbitration schedule.
+     * Off by default — the profiling pass costs a neighbour scan
+     * per arbitrated node. Changes no simulated event either way.
+     */
+    bool profileWavefront = false;
 
     /** Nanoseconds per network cycle (312.5 MHz). */
     static constexpr double kNsPerCycle = 3.2;

@@ -50,6 +50,18 @@ fillMeasuredStats(RunResult &result, const NetStats &stats)
     result.flitHops = stats.flitHops;
     result.tailTotal = stats.totalLatencyLog.summary();
     result.tailNetwork = stats.networkLatencyLog.summary();
+    result.wavefrontCycles = stats.wavefrontCycles;
+    result.wavefrontMaxWalk = stats.wavefrontMaxWalk;
+    result.wavefrontMaxDepth = stats.wavefrontMaxDepth;
+    if (stats.wavefrontCycles > 0) {
+        const double cycles =
+            static_cast<double>(stats.wavefrontCycles);
+        result.wavefrontAvgWalk =
+            static_cast<double>(stats.wavefrontNodesWalked) /
+            cycles;
+        result.wavefrontAvgDepth =
+            static_cast<double>(stats.wavefrontDepthSum) / cycles;
+    }
 }
 
 } // namespace
@@ -61,8 +73,10 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
 {
     NetworkModel net(topo, cfg);
     // Synthetic runs never reconfigure the topology, which is the
-    // precondition of the sharded route plane (network.hpp).
+    // precondition of both route planes (network.hpp): the sharded
+    // one and the memoized one.
     net.setRouteExecutor(executor);
+    net.enableRouteCache();
     Rng traffic_rng(cfg.seed * 0x9e3779b9ULL + 17);
     const auto nodes = liveNodes(topo);
     const auto n_all = topo.numNodes();
@@ -146,9 +160,11 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
             Executor *executor)
 {
     NetworkModel net(topo, cfg);
-    // Open-loop runs never reconfigure the topology — the sharded
-    // route plane's precondition, exactly as in runSynthetic.
+    // Open-loop runs never reconfigure the topology — the
+    // precondition of both route planes, exactly as in
+    // runSynthetic.
     net.setRouteExecutor(executor);
+    net.enableRouteCache();
     const auto nodes = liveNodes(topo);
     const auto n_all = topo.numNodes();
 

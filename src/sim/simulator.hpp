@@ -83,6 +83,16 @@ struct RunResult {
     /** Flits / node / cycle actually injected in the measure
      *  window (open-loop runs: the schedule's realized rate). */
     double realizedLoad = 0.0;
+    /** Commit-wavefront cost model (SimConfig::profileWavefront,
+     *  all zero otherwise): average/max arbitration-walk length
+     *  and dependency-chain depth per profiled cycle — see
+     *  NetStats. avgWalk / avgDepth bounds the speedup of any
+     *  order-preserving parallel arbitration schedule. */
+    double wavefrontAvgWalk = 0.0;
+    double wavefrontAvgDepth = 0.0;
+    std::uint64_t wavefrontMaxWalk = 0;
+    std::uint64_t wavefrontMaxDepth = 0;
+    std::uint64_t wavefrontCycles = 0;
 };
 
 /**

@@ -267,6 +267,25 @@ struct NetStats {
     std::uint64_t escapeHops = 0;
     std::uint64_t droppedUnroutable = 0;  ///< dst gated mid-flight
 
+    /**
+     * Commit-wavefront cost model (SimConfig::profileWavefront):
+     * the measured per-cycle structure of the serial arbitration
+     * walk, collected so ROADMAP item 5 (out-of-order arbitration)
+     * can be decided on data. Per profiled cycle with at least one
+     * active node: the walk length (nodes arbitrated, including
+     * re-visits from the swap-removal compaction) and the critical-
+     * path depth of the walk's dependency chains — a node depends
+     * on every graph-adjacent node (shared link state) arbitrated
+     * earlier the same cycle, so `depth` is the minimum number of
+     * sequential rounds any order-preserving parallel arbitration
+     * schedule needs, and walked/depth is its maximum speedup.
+     */
+    std::uint64_t wavefrontCycles = 0;      ///< profiled cycles
+    std::uint64_t wavefrontNodesWalked = 0; ///< sum of walk lengths
+    std::uint64_t wavefrontMaxWalk = 0;     ///< max per-cycle walk
+    std::uint64_t wavefrontDepthSum = 0;    ///< sum of chain depths
+    std::uint64_t wavefrontMaxDepth = 0;    ///< max per-cycle depth
+
     double
     avgHops() const
     {

@@ -247,9 +247,10 @@ using namespace sf::exp;
 
 /** The driver's `sfx run hockey_stick --quick --runs '*SF*'` flow,
  *  in-process: plan, filter to the String Figure slice, schedule,
- *  report — at any job and route-plane shard count. */
+ *  report — at any job count, route-plane shard count, and route
+ *  cache setting. */
 std::string
-hockeySliceReport(int jobs, int shards = 1)
+hockeySliceReport(int jobs, int shards = 1, bool route_cache = true)
 {
     const auto specs = registry().match("hockey_stick");
     PlanContext plan_ctx;
@@ -266,6 +267,7 @@ hockeySliceReport(int jobs, int shards = 1)
         SchedulerOptions sched;
         sched.jobs = jobs;
         sched.shards = shards;
+        sched.routeCache = route_cache;
         sched.effort = Effort::Quick;
         ExperimentResults results;
         results.spec = spec;
@@ -311,6 +313,22 @@ TEST(HockeyStick, MatchesGoldenSharded)
         << "sharded route plane perturbed the open-loop run";
     EXPECT_EQ(hockeySliceReport(8, 4), golden)
         << "concurrent sharded run diverged";
+}
+
+/** The cache-off half of the route-cache A/B (cache on is the
+ *  default engine pinned above), across the jobs x shards matrix. */
+TEST(HockeyStick, RouteCacheOffMatchesGoldenAcrossMatrix)
+{
+    const std::string golden = hockeyGoldenBytes();
+    ASSERT_FALSE(golden.empty());
+    for (const int jobs : {1, 8}) {
+        for (const int shards : {1, 4}) {
+            EXPECT_EQ(hockeySliceReport(jobs, shards, false),
+                      golden)
+                << "--route-cache off diverged at --jobs " << jobs
+                << " --shards " << shards;
+        }
+    }
 }
 
 } // namespace

@@ -366,6 +366,37 @@ TEST(RunStore, JournalStreamsEvents)
     }
 }
 
+/**
+ * Durable-write batching: the per-entry parent-directory fsync is
+ * amortised into one dirty-directory pass per kDirSyncInterval
+ * stores (plus a flush on destruction), so a sweep storing R
+ * entries into one runs/ directory issues ~R/interval directory
+ * syncs, not R — while every entry file still lands atomically
+ * (the crash tests above hold with batching on, because a lost
+ * rename is a miss that re-executes, never a corrupt entry).
+ */
+TEST(RunStore, DirSyncsAreBatchedAcrossStores)
+{
+    const int runs =
+        static_cast<int>(RunStore::kDirSyncInterval) + 3;
+    const ExperimentSpec spec =
+        countingSpec(nullptr, "dirsync_toy", runs);
+    TempDir dir;
+    RunStore store(dir.path());
+    (void)sweep(spec, &store);
+    const RunStore::Stats mid = store.stats();
+    EXPECT_EQ(mid.writes, static_cast<std::size_t>(runs));
+    // One batch boundary was crossed; everything stored since is
+    // pending until an explicit flush (or destruction).
+    EXPECT_EQ(mid.dirSyncs, 1u);
+    store.flushDurability();
+    const RunStore::Stats flushed = store.stats();
+    EXPECT_EQ(flushed.dirSyncs, 2u);
+    // Idempotent: nothing dirty, nothing synced.
+    store.flushDurability();
+    EXPECT_EQ(store.stats().dirSyncs, 2u);
+}
+
 /** Distinct run ids — or experiment names — that sanitise
  *  identically must not collide on a shared entry file. */
 TEST(RunStore, EntryPathsDisambiguateSanitisedCollisions)
