@@ -37,6 +37,12 @@ struct CliOptions {
      *  like --shards — byte-identical on or off — kept as a flag
      *  for A/B benchmarking; resume may override it freely. */
     bool routeCache = true;
+    /** Routing policy (sim.policy). NOT an execution knob:
+     *  non-greedy policies change simulated events, so the value
+     *  is part of the sweep — recorded in checkpoint meta.json and
+     *  rejected on resume. */
+    core::RoutingPolicyKind policy =
+        core::RoutingPolicyKind::Greedy;
     std::string outPath;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
@@ -79,6 +85,11 @@ printUsage(std::FILE *to)
         "                 reports are byte-identical at any N)\n"
         "  --route-cache on|off  memoized route plane (default on;\n"
         "                 reports are byte-identical either way)\n"
+        "  --policy P    routing policy: greedy | ugal | "
+        "table_oracle\n"
+        "                 (default greedy; non-greedy changes "
+        "results and\n"
+        "                 disables the route cache)\n"
         "  --out FILE    write the JSON report to FILE\n"
         "  --effort E    quick | default | full\n"
         "  --quick       same as --effort quick\n"
@@ -100,8 +111,8 @@ printUsage(std::FILE *to)
         "\n"
         "resume options: --jobs, --shards, --route-cache, --out, "
         "--timing, --quiet, --max-runs\n"
-        "(pattern, effort, seed, and --runs come from the "
-        "checkpoint's meta.json)\n"
+        "(pattern, effort, seed, policy, and --runs come from "
+        "the checkpoint's meta.json)\n"
         "\n"
         "diff options:\n"
         "  --tolerance F  accept relative metric drift up to F "
@@ -144,7 +155,8 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             (arg == "--effort" || arg == "--quick" ||
              arg == "--full" || arg == "--seed" ||
              arg == "--runs" || arg == "--checkpoint" ||
-             arg == "--list-runs" || arg == "--no-topo-cache")) {
+             arg == "--policy" || arg == "--list-runs" ||
+             arg == "--no-topo-cache")) {
             std::fprintf(stderr,
                          "sfx: %s cannot be overridden on resume "
                          "(the sweep comes from the checkpoint's "
@@ -193,6 +205,17 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
                 std::fprintf(stderr,
                              "sfx: --route-cache needs on or off, "
                              "got '%s'\n",
+                             v);
+                return false;
+            }
+        } else if (arg == "--policy") {
+            char *v = need_value("--policy");
+            if (!v)
+                return false;
+            if (!core::parseRoutingPolicy(v, opts.policy)) {
+                std::fprintf(stderr,
+                             "sfx: --policy needs greedy, ugal, "
+                             "or table_oracle, got '%s'\n",
                              v);
                 return false;
             }
@@ -365,6 +388,11 @@ doRun(const CliOptions &opts)
                      std::string(effortName(opts.effort)));
             meta.set("base_seed", opts.baseSeed);
             meta.set("run_filter", opts.runFilter);
+            // Sweep-defining like effort/seed: a checkpoint taken
+            // under one policy must never be finished under
+            // another (results would silently mix event streams).
+            meta.set("policy",
+                     core::routingPolicyName(opts.policy));
             store->bindInvocation(meta);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "sfx: %s\n", e.what());
@@ -378,6 +406,7 @@ doRun(const CliOptions &opts)
     sched.jobs = opts.jobs;
     sched.shards = opts.shards;
     sched.routeCache = opts.routeCache;
+    sched.policy = opts.policy;
     sched.effort = opts.effort;
     sched.baseSeed = opts.baseSeed;
     sched.store = store.get();
@@ -504,6 +533,7 @@ doRun(const CliOptions &opts)
         ropts.baseSeed = opts.baseSeed;
         ropts.jobs = opts.jobs;
         ropts.shards = opts.shards;
+        ropts.policy = opts.policy;
         ropts.includeTiming = opts.timing;
         try {
             writeFile(opts.outPath,
@@ -532,6 +562,14 @@ optionsFromMeta(const std::string &dir, CliOptions &opts)
     opts.effort = parseEffort(meta.at("effort").asString());
     opts.baseSeed = meta.at("base_seed").asUint();
     opts.runFilter = meta.at("run_filter").asString();
+    // Absent in checkpoints taken before the policy seam existed:
+    // those sweeps all ran greedy, the default.
+    if (const Json *p = meta.find("policy")) {
+        if (!core::parseRoutingPolicy(p->asString(), opts.policy))
+            throw std::runtime_error(
+                "unknown policy in checkpoint meta.json: " +
+                p->asString());
+    }
 }
 
 /**

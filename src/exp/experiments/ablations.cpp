@@ -74,6 +74,7 @@ adaptiveSpec()
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
                     cfg.routeCache = rc.routeCache;
+                    cfg.policy = rc.policy;
                     cfg.adaptive = adaptive;
                     Json m = Json::object();
                     m.set("saturation_rate",
@@ -122,6 +123,7 @@ balanceSpec()
                 cfg.seed = rc.seed;
                 cfg.shards = rc.shards;
                 cfg.routeCache = rc.routeCache;
+                cfg.policy = rc.policy;
                 Json m = Json::object();
                 m.set("avg_hops", stats.average);
                 m.set("diameter", static_cast<std::int64_t>(
@@ -285,6 +287,7 @@ unidirSpec()
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
                     cfg.routeCache = rc.routeCache;
+                    cfg.policy = rc.policy;
                     Json m = Json::object();
                     m.set("avg_hops",
                           net::allPairsStats(topo->graph())

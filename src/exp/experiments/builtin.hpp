@@ -25,6 +25,8 @@ void registerAblationExperiments(Registry &r);
 void registerMicroExperiments(Registry &r);
 /** hockey_stick (open-loop tail latency) + micro_openloop. */
 void registerOpenLoopExperiments(Registry &r);
+/** routing_bakeoff (policy x design x pattern matrix). */
+void registerRoutingExperiments(Registry &r);
 
 /** Register every built-in experiment. */
 void registerBuiltinExperiments(Registry &r);

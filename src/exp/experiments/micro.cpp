@@ -578,6 +578,7 @@ registerBuiltinExperiments(Registry &r)
     registerAblationExperiments(r);
     registerMicroExperiments(r);
     registerOpenLoopExperiments(r);
+    registerRoutingExperiments(r);
 }
 
 } // namespace sf::exp

@@ -15,6 +15,12 @@ buildReport(const std::vector<ExperimentResults> &experiments,
     report.set("suite", "string-figure");
     report.set("effort", std::string(effortName(opts.effort)));
     report.set("base_seed", opts.baseSeed);
+    // Result-affecting, so never hidden behind includeTiming; the
+    // greedy default is omitted to keep pre-seam report bytes (and
+    // the committed goldens) unchanged.
+    if (opts.policy != core::RoutingPolicyKind::Greedy)
+        report.set("policy",
+                   core::routingPolicyName(opts.policy));
     if (opts.includeTiming) {
         report.set("jobs", static_cast<std::int64_t>(opts.jobs));
         report.set("shards",

@@ -38,6 +38,15 @@ struct ReportOptions {
      *  recorded under includeTiming (it cannot affect results). */
     int shards = 1;
     /**
+     * Routing policy the sweep ran with. Unlike jobs/shards it
+     * CAN affect results, so a non-greedy value is always recorded
+     * in the report; the greedy default is omitted so reports from
+     * before the policy seam (and all committed goldens) keep
+     * their exact bytes.
+     */
+    core::RoutingPolicyKind policy =
+        core::RoutingPolicyKind::Greedy;
+    /**
      * Include per-run / per-experiment wall-clock and scheduler
      * metadata. Off by default: timing varies run to run, and the
      * default report is required to be reproducible byte-for-byte.

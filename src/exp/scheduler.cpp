@@ -65,6 +65,7 @@ runExperiment(const ExperimentSpec &exp,
             ctx.executor = &pool;
             ctx.shards = opts.shards > 0 ? opts.shards : 1;
             ctx.routeCache = opts.routeCache;
+            ctx.policy = opts.policy;
             result.seed = ctx.seed;
             const auto progress = [&] {
                 const std::size_t completed =

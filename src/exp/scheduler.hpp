@@ -54,6 +54,11 @@ struct SchedulerOptions {
     /** Memoized route plane (RunContext::routeCache); results are
      *  identical on or off, like jobs and shards. */
     bool routeCache = true;
+    /** Routing policy (RunContext::policy). Changes results for
+     *  non-greedy values — a sweep parameter, not an execution
+     *  knob like jobs/shards/routeCache. */
+    core::RoutingPolicyKind policy =
+        core::RoutingPolicyKind::Greedy;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
     /**

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/routing_policy.hpp"
 #include "exp/json.hpp"
 
 namespace sf::sim {
@@ -94,6 +95,18 @@ struct RunContext {
      * or the spec hash.
      */
     bool routeCache = true;
+    /**
+     * Routing policy (`sfx --policy`, sim::SimConfig::policy):
+     * bodies that run the flit simulator should copy this into
+     * their SimConfig — UNLESS the policy is part of their own run
+     * grid (the routing_bakeoff family), in which case the cell
+     * wins. Unlike shards/routeCache this is NOT an execution
+     * knob: non-greedy policies change simulated events, so the
+     * driver records it in checkpoint metadata and reports, and
+     * refuses to override it on resume.
+     */
+    core::RoutingPolicyKind policy =
+        core::RoutingPolicyKind::Greedy;
 };
 
 /** One independent unit of work inside an experiment. */

@@ -56,6 +56,13 @@ NetworkModel::NetworkModel(const net::Topology &topo,
         wfStamp_.assign(n, 0);
         wfDepth_.assign(n, 0);
     }
+    policy_ = core::makeRoutingPolicy(cfg.policy, topo);
+    if (policy_->congestionAware()) {
+        // Sized once; re-filled (never resized) each cycle, so the
+        // snapshot view stays valid for the model's lifetime.
+        congestionFlits_.assign(links, 0);
+        congestion_ = core::CongestionSnapshot(congestionFlits_);
+    }
 }
 
 void
@@ -155,6 +162,11 @@ NetworkModel::onTopologyChanged()
     // compute while the topology cannot change under it.
     reconfigured_ = true;
     routeCache_.reset();
+    // Table-driven policies rebuild their distance tables against
+    // the surviving links. Runs on the serial engine thread with
+    // the route executor just retired, so the eager rebuild cannot
+    // race a route-plane shard.
+    policy_->onTopologyChanged();
 }
 
 void
@@ -171,7 +183,13 @@ NetworkModel::setRouteExecutor(Executor *executor)
 void
 NetworkModel::enableRouteCache()
 {
-    if (!cfg_.routeCache || reconfigured_ || routeCache_)
+    // A cache entry is keyed by (node, dest, first_hop) only — a
+    // CongestionSnapshot can never be part of the key (it changes
+    // every cycle), so only policies whose decisions are pure
+    // functions of that key space may be memoized. Adaptive
+    // policies therefore keep the cache disengaged for good.
+    if (!cfg_.routeCache || reconfigured_ || routeCache_ ||
+        !policy_->cacheable())
         return;
     auto cache = std::make_unique<core::RouteCache>(*topo_);
     if (cache->active())
@@ -184,13 +202,44 @@ NetworkModel::routeCandidatesFor(NodeId node, Packet &p)
     if (routeCache_)
         return routeCache_->candidates(node, p.dst, p.hops == 0,
                                        p.candidates);
-    return topo_->routeCandidates(node, p.dst, p.hops == 0,
-                                  p.candidates);
+    return policy_->route(node, p.dst, p.hops == 0, congestion_,
+                          p.candidates);
+}
+
+void
+NetworkModel::fillCongestionSnapshot()
+{
+    // Sum flitsReserved over each link's VCs: flits committed to
+    // land in that link's input buffers — the engine's queue-depth
+    // estimate. Written only here, on the serial engine thread,
+    // before any route (serial or sharded) is computed this cycle.
+    const int vcs = totalVcs();
+    const std::size_t links = congestionFlits_.size();
+    for (std::size_t l = 0; l < links; ++l) {
+        std::uint32_t sum = 0;
+        const std::size_t base = l * static_cast<std::size_t>(vcs);
+        for (int v = 0; v < vcs; ++v)
+            sum += static_cast<std::uint32_t>(
+                vcs_[base + static_cast<std::size_t>(v)]
+                    .flitsReserved);
+        congestionFlits_[l] = sum;
+    }
 }
 
 void
 NetworkModel::precomputeRoutes(Cycle now)
 {
+    // Serial barrier routing: with a congestion-aware policy and no
+    // route executor (shards = 1), the same eligibility walk runs
+    // here but routes inline. This keeps the policy's semantics —
+    // "every cycle-start head routes against this cycle's frozen
+    // snapshot" — identical at every shard count. (A greedy route
+    // for a head the serial loop skips this cycle equals the route
+    // it would compute next cycle, so greedy never needs this; a
+    // snapshot-dependent route does NOT have that property, which
+    // is exactly why lazy serial routing and barrier-sharded
+    // routing would diverge without it.)
+    const bool inline_routes = routeWork_.empty();
     const std::size_t shards = routeWork_.size();
     const std::size_t n = topo_->numNodes();
     std::size_t total = 0;
@@ -198,10 +247,12 @@ NetworkModel::precomputeRoutes(Cycle now)
         // Contiguous spatial blocks: nodes [k*n/S, (k+1)*n/S) form
         // shard k, so a shard owns its nodes' whole route workload.
         const std::size_t shard =
-            static_cast<std::size_t>(node) * shards / n;
+            inline_routes
+                ? 0
+                : static_cast<std::size_t>(node) * shards / n;
         const auto consider = [&](std::uint32_t slot) {
-            const Packet &p = pool_.at(slot);
-            // Only the pure greedy fast path is precomputable; the
+            Packet &p = pool_.at(slot);
+            // Only the pure policy fast path is precomputable; the
             // loop owns every order-sensitive case: cached routes,
             // escape routing, escalation due this cycle (its stats
             // counter can land inside the measurement window), the
@@ -209,6 +260,16 @@ NetworkModel::precomputeRoutes(Cycle now)
             if (p.routed || p.escape || p.dst == node ||
                 !topo_->nodeAlive(p.dst))
                 return;
+            if (inline_routes) {
+                const std::size_t count =
+                    routeCandidatesFor(node, p);
+                if (count > 0) {
+                    p.numCandidates =
+                        static_cast<std::uint8_t>(count);
+                    p.routed = true;
+                }
+                return;
+            }
             routeWork_[shard].push_back(RouteJob{slot, node});
             ++total;
         };
@@ -321,8 +382,24 @@ NetworkModel::step(Cycle now)
         pool_.release(top.slot);
     }
 
-    // 1b. Sharded route plane: fill in this cycle's pure greedy
-    //     routes concurrently before any serial state advances.
+    // 1b. Freeze this cycle's congestion snapshot (adaptive
+    //     policies only): after arrivals landed, before any route —
+    //     serial or sharded — is computed, so every route decision
+    //     this cycle reads the same frozen queue depths regardless
+    //     of shard count or arbitration order. Adaptive policies
+    //     then route every cycle-start head at this barrier even
+    //     without a route executor: a snapshot-dependent decision
+    //     deferred to a later cycle would read a different
+    //     snapshot, so lazy serial routing and barrier-sharded
+    //     routing would diverge (see precomputeRoutes).
+    if (policy_->congestionAware()) {
+        fillCongestionSnapshot();
+        if (!routeExecutor_)
+            precomputeRoutes(now);
+    }
+
+    // 1c. Sharded route plane: fill in this cycle's pure routes
+    //     concurrently before any serial state advances.
     if (routeExecutor_)
         precomputeRoutes(now);
 

@@ -85,6 +85,23 @@
  * no atomics. Gated exactly like the route executor: enabled only
  * from immutable-topology entry points, and onTopologyChanged
  * retires it for the model's lifetime.
+ *
+ * Routing-policy seam (cfg.policy + core/routing_policy.hpp): every
+ * normal-VC route query goes through one RoutingPolicy::route()
+ * call. The greedy policy delegates straight to the topology's own
+ * routeCandidates, so routing through the seam is the incumbent
+ * behaviour byte for byte. Adaptive policies additionally read a
+ * CongestionSnapshot — per-link queued flits summed over VCs —
+ * filled exactly once per cycle in step(), after arrivals land and
+ * before any route is computed (the same barrier the sharded route
+ * plane fans out from). Freezing the snapshot there keeps every
+ * policy a pure per-cycle function: the serial loop, the sharded
+ * route plane, and any shard count all read identical inputs, so
+ * reports stay byte-identical across shards for every policy. The
+ * route cache only engages for policies that are pure functions of
+ * (node, dest, first_hop) — its exact key space; congestion-aware
+ * decisions are uncacheable by construction and enableRouteCache
+ * refuses them (see docs/routing_policies.md).
  */
 
 #pragma once
@@ -94,6 +111,7 @@
 #include <vector>
 
 #include "core/route_cache.hpp"
+#include "core/routing_policy.hpp"
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "net/updown.hpp"
@@ -194,6 +212,12 @@ class NetworkModel
 
     /** Is the memoized route plane currently engaged? (tests) */
     bool routeCacheActive() const { return routeCache_ != nullptr; }
+
+    /** The active routing policy (never null). */
+    const core::RoutingPolicy &routingPolicy() const
+    {
+        return *policy_;
+    }
 
     /** The configured topology. */
     const net::Topology &topology() const { return *topo_; }
@@ -299,13 +323,18 @@ class NetworkModel
      */
     bool computeRoute(NodeId node, Packet &p, Cycle now);
     /**
-     * The greedy fast-path lookup both route planes share: fill
-     * @p p's candidates for its next hop from @p node, through the
-     * route cache when one is engaged, directly otherwise.
+     * The fast-path lookup both route planes share: fill @p p's
+     * candidates for its next hop from @p node, through the route
+     * cache when one is engaged, through the policy seam otherwise
+     * (for greedy the two are the same pure function).
      *
      * @return Number of candidates written into p.candidates.
      */
     std::size_t routeCandidatesFor(NodeId node, Packet &p);
+    /** Freeze this cycle's CongestionSnapshot (per-link queued
+     *  flits summed over VCs). Called once per step(), before any
+     *  route is computed; only when the policy reads it. */
+    void fillCongestionSnapshot();
     /**
      * Try to move head packet @p p (pool slot @p slot) one hop, or
      * eject it at its destination.
@@ -359,6 +388,13 @@ class NetworkModel
 
     /** Memoized route plane (null = direct virtual calls). */
     std::unique_ptr<core::RouteCache> routeCache_;
+    /** The routing-policy seam (never null; greedy by default). */
+    std::unique_ptr<core::RoutingPolicy> policy_;
+    /** Per-link queued-flit totals frozen at the cycle barrier;
+     *  sized once (only for congestion-aware policies). */
+    std::vector<std::uint32_t> congestionFlits_;
+    /** Read-only view over congestionFlits_ handed to route(). */
+    core::CongestionSnapshot congestion_;
     /** Set by onTopologyChanged: immutability is gone for good, so
      *  later enableRouteCache calls become no-ops. */
     bool reconfigured_ = false;

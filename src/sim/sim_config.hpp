@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/routing_policy.hpp"
 #include "net/types.hpp"
 
 namespace sf::sim {
@@ -66,6 +67,21 @@ struct SimConfig {
      * retires it for the model's lifetime.
      */
     bool routeCache = true;
+    /**
+     * Routing policy (`sfx --policy`): which core::RoutingPolicy
+     * answers route queries. Unlike shards/routeCache this is NOT
+     * an execution knob — non-greedy policies change simulated
+     * events (that is their purpose), so the experiment layer
+     * records it in checkpoint metadata and reports. `greedy`
+     * routes the incumbent topology routing through the seam with
+     * zero behaviour change; adaptive policies read a congestion
+     * snapshot frozen once per cycle at the route-plane barrier,
+     * keeping every policy deterministic and shard-compatible.
+     * The route cache only engages when the policy is cacheable
+     * (greedy); adaptive decisions are congestion-dependent and
+     * must never be memoized.
+     */
+    core::RoutingPolicyKind policy = core::RoutingPolicyKind::Greedy;
     /**
      * Commit-wavefront cost-model instrumentation (ROADMAP item 5):
      * per-cycle counters for the serial arbitration walk length and

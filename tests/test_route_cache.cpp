@@ -180,6 +180,31 @@ TEST(RouteCache, ConfigOffKeepsCacheDisengaged)
     EXPECT_FALSE(model.routeCacheActive());
 }
 
+/**
+ * Cache keys are (node, dest, first_hop) — no congestion snapshot —
+ * and rows are filled from the topology's *greedy* routing. A
+ * non-greedy policy must therefore keep the cache disengaged even
+ * when the config asks for it: for `ugal` a cached answer would be
+ * stale (the snapshot changes every cycle), and for `table_oracle`
+ * it would be outright wrong (greedy's answer, not the table's).
+ */
+TEST(RouteCache, NonGreedyPolicyKeepsCacheDisengaged)
+{
+    StringFigure topo(
+        makeParams(64, 8, LinkMode::Unidirectional, true));
+    for (const auto kind : {RoutingPolicyKind::Ugal,
+                            RoutingPolicyKind::TableOracle}) {
+        sim::SimConfig cfg;
+        cfg.routeCache = true;
+        cfg.policy = kind;
+        sim::NetworkModel model(topo, cfg);
+        model.enableRouteCache();
+        EXPECT_FALSE(model.routeCacheActive())
+            << "route cache engaged under --policy "
+            << routingPolicyName(kind);
+    }
+}
+
 // ------------------------------------------------- concurrency
 
 /**

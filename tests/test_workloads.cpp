@@ -194,6 +194,80 @@ TEST(Replay, PowerGatingMidRunStillCompletes)
     EXPECT_LE(topo.reconfig().numAlive(), 64u);
 }
 
+TEST(Replay, WindowOfOneSerializesEachSocketsRequests)
+{
+    // The MSHR window is the replay's dependency mechanism: at
+    // window=1 a socket's next request waits on the previous
+    // response (issue decrements only in the reply half of the
+    // deliver handler). The same trace must therefore take far
+    // longer than the memory-bound window=64 replay, and no
+    // faster than one full round trip per op per socket.
+    core::SFParams p;
+    p.numNodes = 32;
+    p.routerPorts = 8;
+    core::StringFigure topo(p);
+    const Trace trace = generateTrace(Workload::Redis, 1, 2000);
+    sim::SimConfig sim_cfg;
+
+    ReplayConfig wide;
+    const auto pipelined = replayTrace(trace, topo, sim_cfg, wide);
+    ASSERT_TRUE(pipelined.finished);
+
+    ReplayConfig serial_cfg;
+    serial_cfg.window = 1;
+    const auto serial =
+        replayTrace(trace, topo, sim_cfg, serial_cfg);
+    ASSERT_TRUE(serial.finished);
+    EXPECT_EQ(serial.opsCompleted, 2000u);
+
+    // Serialized issue can overlap ops only across sockets, so
+    // runtime is bounded below by (ops per socket) x (cheapest
+    // possible round trip): request + DRAM access + reply, each
+    // at least one cycle.
+    const auto per_socket = static_cast<Cycle>(
+        trace.ops.size() /
+        static_cast<std::size_t>(serial_cfg.sockets));
+    EXPECT_GE(serial.runtimeCycles, 3 * per_socket);
+    // And the window is the only thing that changed, so the
+    // pipelined replay must be strictly faster.
+    EXPECT_GT(serial.runtimeCycles, 2 * pipelined.runtimeCycles);
+    // Dependency stalls show up as latency the socket *observes*
+    // but never as lost work.
+    EXPECT_GT(serial.avgOpLatency, 0.0);
+}
+
+TEST(Replay, RespectTimestampsGatesIssueOnTraceTime)
+{
+    // CPU-bound replay: ops may not issue before their trace
+    // timestamp, so the runtime is bounded below by the last op's
+    // arrival time — a bound the memory-bound default is well
+    // under for this trace.
+    core::SFParams p;
+    p.numNodes = 32;
+    p.routerPorts = 8;
+    core::StringFigure topo(p);
+    const Trace trace = generateTrace(Workload::SparkGrep, 1, 2000);
+    sim::SimConfig sim_cfg;
+
+    ReplayConfig fast;
+    const auto unconstrained =
+        replayTrace(trace, topo, sim_cfg, fast);
+    ASSERT_TRUE(unconstrained.finished);
+
+    ReplayConfig timed;
+    timed.respectTimestamps = true;
+    const auto gated = replayTrace(trace, topo, sim_cfg, timed);
+    ASSERT_TRUE(gated.finished);
+    EXPECT_EQ(gated.opsCompleted, 2000u);
+
+    const Cycle last_arrival = Trace::instrToCycles(
+        trace.ops.back().instrId, timed.cpi);
+    ASSERT_GT(last_arrival, unconstrained.runtimeCycles)
+        << "trace too dense to distinguish the gated path";
+    EXPECT_GE(gated.runtimeCycles, last_arrival);
+    EXPECT_GT(gated.runtimeCycles, unconstrained.runtimeCycles);
+}
+
 TEST(Replay, SlowerNetworkGivesLowerThroughput)
 {
     // The same trace on SF vs a small mesh: relative IPC ordering
