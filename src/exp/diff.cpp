@@ -69,6 +69,18 @@ isPercentileMetric(std::string_view key)
     return true;
 }
 
+bool
+isReconvergenceMetric(std::string_view key)
+{
+    // Strip the per-wave prefix ("ev0_drop_burst" compares like
+    // "burst"). Deliberately suffix-based so it can never swallow
+    // aggregate counters like "holes" or "drops".
+    const std::size_t underscore = key.rfind('_');
+    if (underscore != std::string_view::npos)
+        key = key.substr(underscore + 1);
+    return key == "blip" || key == "burst" || key == "reconverge";
+}
+
 ReportDiff
 diffReports(const Json &a, const Json &b, const DiffOptions &opts)
 {
@@ -187,14 +199,15 @@ diffReports(const Json &a, const Json &b, const DiffOptions &opts)
                     // direction: becoming NaN is a broken metric,
                     // and recovering from one means the baseline
                     // no longer describes the current code.
-                    // Percentile metrics exact-compare: they are
-                    // integral functions of the deterministic
-                    // event stream, so any drift gates no matter
-                    // the tolerance.
+                    // Percentile and reconvergence metrics
+                    // exact-compare: they are integral functions
+                    // of the deterministic event stream, so any
+                    // drift gates no matter the tolerance.
                     delta.regression =
                         deterministic &&
                         (nan_a != nan_b ||
                          isPercentileMetric(key) ||
+                         isReconvergenceMetric(key) ||
                          std::fabs(delta.relDelta) >
                              opts.tolerance);
                     if (delta.regression)

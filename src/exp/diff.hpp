@@ -43,6 +43,17 @@ struct DiffOptions {
  */
 bool isPercentileMetric(std::string_view key);
 
+/**
+ * Reconvergence-family metric names from the elastic experiments
+ * ("ev0_blip", "ev1_drop_burst", "ev2_reconverge", and any other
+ * `*_blip` / `*_burst` / `*_reconverge`): degradation-window
+ * measurements that, like percentiles, are integral functions of
+ * the deterministic event stream. They always exact-compare — a
+ * longer blip or a bigger drop burst is a real behaviour change no
+ * tolerance should forgive.
+ */
+bool isReconvergenceMetric(std::string_view key);
+
 /** One metric whose value differs between the two reports. */
 struct MetricDelta {
     std::string experiment;

@@ -20,6 +20,7 @@
 #include "exp/report.hpp"
 #include "exp/run_store.hpp"
 #include "exp/scheduler.hpp"
+#include "sim/reconfig_schedule.hpp"
 #include "topos/factory.hpp"
 
 namespace sf::exp {
@@ -43,6 +44,12 @@ struct CliOptions {
      *  rejected on resume. */
     core::RoutingPolicyKind policy =
         core::RoutingPolicyKind::Greedy;
+    /** Reconfig-schedule severity filter (PlanContext::
+     *  reconfigSchedule). NOT an execution knob: it changes which
+     *  runs the elastic family plans, so like --policy it is
+     *  recorded in checkpoint meta.json and rejected on resume.
+     *  Empty = plan every severity. */
+    std::string reconfigSchedule;
     std::string outPath;
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
@@ -90,6 +97,13 @@ printUsage(std::FILE *to)
         "                 (default greedy; non-greedy changes "
         "results and\n"
         "                 disables the route cache)\n"
+        "  --reconfig-schedule S  restrict elastic experiments to "
+        "one\n"
+        "                 schedule severity: leave_join | fail | "
+        "cascade\n"
+        "                 (default: plan all; changes the run grid "
+        "like\n"
+        "                 --policy, so resume cannot override it)\n"
         "  --out FILE    write the JSON report to FILE\n"
         "  --effort E    quick | default | full\n"
         "  --quick       same as --effort quick\n"
@@ -111,8 +125,8 @@ printUsage(std::FILE *to)
         "\n"
         "resume options: --jobs, --shards, --route-cache, --out, "
         "--timing, --quiet, --max-runs\n"
-        "(pattern, effort, seed, policy, and --runs come from "
-        "the checkpoint's meta.json)\n"
+        "(pattern, effort, seed, policy, --reconfig-schedule, and "
+        "--runs come from the checkpoint's meta.json)\n"
         "\n"
         "diff options:\n"
         "  --tolerance F  accept relative metric drift up to F "
@@ -155,7 +169,9 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             (arg == "--effort" || arg == "--quick" ||
              arg == "--full" || arg == "--seed" ||
              arg == "--runs" || arg == "--checkpoint" ||
-             arg == "--policy" || arg == "--list-runs" ||
+             arg == "--policy" ||
+             arg == "--reconfig-schedule" ||
+             arg == "--list-runs" ||
              arg == "--no-topo-cache")) {
             std::fprintf(stderr,
                          "sfx: %s cannot be overridden on resume "
@@ -219,6 +235,19 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
                              v);
                 return false;
             }
+        } else if (arg == "--reconfig-schedule") {
+            char *v = need_value("--reconfig-schedule");
+            if (!v)
+                return false;
+            if (!sim::isReconfigSeverity(v)) {
+                std::fprintf(stderr,
+                             "sfx: --reconfig-schedule needs "
+                             "leave_join, fail, or cascade, got "
+                             "'%s'\n",
+                             v);
+                return false;
+            }
+            opts.reconfigSchedule = v;
         } else if (arg == "--out" || arg == "-o") {
             char *v = need_value("--out");
             if (!v)
@@ -354,6 +383,7 @@ doRun(const CliOptions &opts)
     PlanContext plan_ctx;
     plan_ctx.effort = opts.effort;
     plan_ctx.baseSeed = opts.baseSeed;
+    plan_ctx.reconfigSchedule = opts.reconfigSchedule;
 
     // Plan every matched experiment, applying the run-id filter.
     const auto plan_runs = [&](const ExperimentSpec *spec) {
@@ -393,6 +423,9 @@ doRun(const CliOptions &opts)
             // another (results would silently mix event streams).
             meta.set("policy",
                      core::routingPolicyName(opts.policy));
+            // Sweep-defining too: the severity filter changes which
+            // runs the elastic family plans.
+            meta.set("reconfig_schedule", opts.reconfigSchedule);
             store->bindInvocation(meta);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "sfx: %s\n", e.what());
@@ -570,6 +603,17 @@ optionsFromMeta(const std::string &dir, CliOptions &opts)
                 "unknown policy in checkpoint meta.json: " +
                 p->asString());
     }
+    // Absent in checkpoints taken before the elastic family
+    // existed: those sweeps planned every severity (the default).
+    if (const Json *s = meta.find("reconfig_schedule")) {
+        if (!s->asString().empty() &&
+            !sim::isReconfigSeverity(s->asString()))
+            throw std::runtime_error(
+                "unknown reconfig_schedule in checkpoint "
+                "meta.json: " +
+                s->asString());
+        opts.reconfigSchedule = s->asString();
+    }
 }
 
 /**
@@ -713,6 +757,7 @@ forEachPlannedEntry(
     PlanContext plan_ctx;
     plan_ctx.effort = opts.effort;
     plan_ctx.baseSeed = opts.baseSeed;
+    plan_ctx.reconfigSchedule = opts.reconfigSchedule;
     for (const ExperimentSpec *spec : specs) {
         const auto runs =
             plannedRuns(*spec, plan_ctx, opts.runFilter);

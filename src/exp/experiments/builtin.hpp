@@ -27,6 +27,8 @@ void registerMicroExperiments(Registry &r);
 void registerOpenLoopExperiments(Registry &r);
 /** routing_bakeoff (policy x design x pattern matrix). */
 void registerRoutingExperiments(Registry &r);
+/** elastic_serving (live gate/ungate under open-loop load). */
+void registerElasticExperiments(Registry &r);
 
 /** Register every built-in experiment. */
 void registerBuiltinExperiments(Registry &r);

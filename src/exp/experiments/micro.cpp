@@ -579,6 +579,7 @@ registerBuiltinExperiments(Registry &r)
     registerMicroExperiments(r);
     registerOpenLoopExperiments(r);
     registerRoutingExperiments(r);
+    registerElasticExperiments(r);
 }
 
 } // namespace sf::exp

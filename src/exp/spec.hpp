@@ -124,6 +124,15 @@ struct RunSpec {
 struct PlanContext {
     Effort effort = Effort::Default;
     std::uint64_t baseSeed = kBaseSeed;
+    /**
+     * Reconfig-schedule severity filter (`sfx --reconfig-schedule`):
+     * empty plans every severity the elastic_serving family's
+     * effort grid includes; a severity name restricts the grid to
+     * it. Like the routing policy this is NOT an execution knob —
+     * it changes which runs exist — so the driver records it in
+     * checkpoint metadata and refuses to override it on resume.
+     */
+    std::string reconfigSchedule;
 };
 
 /** A named experiment: a planner producing a run grid. */

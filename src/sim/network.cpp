@@ -147,26 +147,40 @@ void
 NetworkModel::onTopologyChanged()
 {
     updown_.reset();
-    // Head packets revalidate their cached candidates lazily: every
-    // forward attempt checks that the chosen link is still enabled.
-    // The route plane, though, is only provably identical to the
-    // serial loop while the topology is immutable (a precomputed
-    // route for a head the loop skips this cycle must equal the
-    // route the loop would compute next cycle), so a reconfig
-    // retires it for the lifetime of this model.
-    routeExecutor_ = nullptr;
-    routeWork_.clear();
-    routeTasks_.clear();
-    // Same premise, same fate for the memoized route plane: a
-    // cached route is only provably the value the loop would
-    // compute while the topology cannot change under it.
-    reconfigured_ = true;
+    ++stats_.topologyEpochs;
+    // Epoch barrier: a precomputed route is only provably the value
+    // the serial loop would compute while the topology is immutable,
+    // so no route may outlive its epoch. The sharded plane can have
+    // marked heads routed that arbitration then skipped (input port
+    // busy) — carried across the boundary those would be the old
+    // epoch's pure function. routed is only ever true on queue
+    // heads (tryForward clears it on every hop, arrivals enqueue
+    // with it false), so clearing the heads of every active VC and
+    // source FIFO invalidates every precomputed route; both engines
+    // then recompute against the new topology and stay
+    // event-for-event identical.
+    for (const NodeId node : activeNodes_) {
+        for (const std::uint32_t flat : activeVcs_[node]) {
+            const VcState &vc = vcs_[flat];
+            if (!vc.fifo.empty())
+                pool_.at(vc.fifo.head).routed = false;
+        }
+        if (!sourceQueue_[node].empty())
+            pool_.at(sourceQueue_[node].head).routed = false;
+    }
+    // The memoized plane is a per-epoch object: retire the old
+    // epoch's tables and rebuild fresh ones against the new
+    // topology, after the policy has rebuilt its own tables. Runs
+    // on the serial engine thread at a cycle barrier (the route
+    // executor is quiescent between steps), so neither teardown
+    // nor rebuild can race a route-plane shard.
+    const bool rebuild = routeCache_ != nullptr;
     routeCache_.reset();
-    // Table-driven policies rebuild their distance tables against
-    // the surviving links. Runs on the serial engine thread with
-    // the route executor just retired, so the eager rebuild cannot
-    // race a route-plane shard.
     policy_->onTopologyChanged();
+    if (rebuild) {
+        enableRouteCache();
+        ++stats_.routeCacheRebuilds;
+    }
 }
 
 void
@@ -188,8 +202,7 @@ NetworkModel::enableRouteCache()
     // every cycle), so only policies whose decisions are pure
     // functions of that key space may be memoized. Adaptive
     // policies therefore keep the cache disengaged for good.
-    if (!cfg_.routeCache || reconfigured_ || routeCache_ ||
-        !policy_->cacheable())
+    if (!cfg_.routeCache || routeCache_ || !policy_->cacheable())
         return;
     auto cache = std::make_unique<core::RouteCache>(*topo_);
     if (cache->active())

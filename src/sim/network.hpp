@@ -62,15 +62,25 @@
  * stats can land in a report mid-window), drops, deliveries, and
  * every RNG draw. Because a precomputed route is the same pure
  * function the serial loop would evaluate at its own point in the
- * cycle — the topology is immutable for the run and a head's
+ * cycle — the topology is immutable *within an epoch* and a head's
  * (node, dst, hops, escape) inputs cannot change before the loop
  * consumes or invalidates the cache — the sharded engine is
  * event-for-event identical to the serial one at every shard
- * count, and the partition never appears in results. A reconfig
- * (onTopologyChanged) breaks the immutability premise, so it
- * permanently disables the route plane for the instance; the
- * simulator layer only enables sharding for runSynthetic, which
- * never reconfigures.
+ * count, and the partition never appears in results.
+ *
+ * Topology generations: a reconfig (onTopologyChanged) advances an
+ * epoch counter instead of disabling anything. Reconfig events
+ * apply serially at a cycle barrier (between step() calls, before
+ * injection), so each epoch's route plane shards against an
+ * immutable-within-epoch snapshot and routing stays a pure
+ * per-epoch function. The one cross-epoch hazard is a precomputed
+ * route the serial loop deferred: the sharded plane may mark a
+ * head routed that arbitration skips this cycle (input port busy),
+ * and a route carried across the boundary would be the *previous*
+ * epoch's pure function. The epoch barrier therefore clears the
+ * routed flag on every queue head — routes never outlive their
+ * epoch, both engines recompute against the new topology, and
+ * byte-identity across shard counts survives reconfiguration.
  *
  * Memoized route plane (cfg.routeCache + enableRouteCache): the
  * same purity argument lets the greedy route computation be cached
@@ -82,9 +92,12 @@
  * only looks up its own contiguous node block, and the serial loop
  * only touches the cache outside the route phase (the executor
  * barrier), so the lazy fills are single-writer per row and need
- * no atomics. Gated exactly like the route executor: enabled only
- * from immutable-topology entry points, and onTopologyChanged
- * retires it for the model's lifetime.
+ * no atomics. The cache is a per-epoch object: onTopologyChanged
+ * retires the current instance and immediately rebuilds a fresh
+ * one against the new topology (counted in
+ * NetStats::routeCacheRebuilds), so memoization stays engaged
+ * across reconfig boundaries and every cached row belongs to
+ * exactly one epoch.
  *
  * Routing-policy seam (cfg.policy + core/routing_policy.hpp): every
  * normal-VC route query goes through one RoutingPolicy::route()
@@ -179,14 +192,22 @@ class NetworkModel
     }
 
     /**
-     * Invalidate routing caches after the topology changed
-     * (reconfiguration): escape tables rebuild lazily, head packets
-     * re-route on their next arbitration. Also retires the sharded
-     * route plane for good — precomputed routes are only provably
-     * identical to loop-computed ones while the topology is
-     * immutable.
+     * Advance the topology generation after a reconfiguration:
+     * escape tables rebuild lazily, every queue-head route is
+     * invalidated (precomputed routes must not outlive their
+     * epoch — see the file header), and the memoized route plane
+     * is retired and rebuilt against the new topology. The sharded
+     * route plane stays enabled: each epoch shards against an
+     * immutable-within-epoch snapshot. Must be called serially at
+     * a cycle barrier (never mid-step).
      */
     void onTopologyChanged();
+
+    /** Current topology generation (onTopologyChanged calls). */
+    std::uint64_t topologyEpoch() const
+    {
+        return stats_.topologyEpochs;
+    }
 
     /**
      * Enable the sharded route plane (see the file header): with
@@ -202,11 +223,11 @@ class NetworkModel
      * Enable the memoized route plane (see the file header): greedy
      * route lookups go through a lazily-filled core::RouteCache
      * instead of the virtual topology call. No-op when
-     * cfg.routeCache is off, after any onTopologyChanged (the
-     * immutability premise is gone for good), or when the topology
-     * cannot be index-encoded. Byte-identical results either way —
-     * only callers whose topology stays immutable for the model's
-     * lifetime (runSynthetic / runOpenLoop) should call this.
+     * cfg.routeCache is off or the topology cannot be
+     * index-encoded. Supported at any epoch, including after
+     * reconfigurations: the cache memoizes the current epoch's
+     * topology, and onTopologyChanged retires-and-rebuilds it at
+     * each epoch boundary. Byte-identical results either way.
      */
     void enableRouteCache();
 
@@ -395,9 +416,6 @@ class NetworkModel
     std::vector<std::uint32_t> congestionFlits_;
     /** Read-only view over congestionFlits_ handed to route(). */
     core::CongestionSnapshot congestion_;
-    /** Set by onTopologyChanged: immutability is gone for good, so
-     *  later enableRouteCache calls become no-ops. */
-    bool reconfigured_ = false;
 
     // Commit-wavefront cost model (cfg_.profileWavefront): per-node
     // scratch for the dependency-depth recurrence, sized lazily.

@@ -62,9 +62,11 @@ struct SimConfig {
      * per-topology next-hop tables (core/route_cache.hpp). A cached
      * value is the same pure function's output, so results are
      * byte-identical on or off — an execution knob like jobs and
-     * shards, kept for A/B benchmarking. The simulator only engages
-     * it on immutable-topology runs, and a mid-run reconfiguration
-     * retires it for the model's lifetime.
+     * shards, kept for A/B benchmarking. The cache memoizes one
+     * topology generation at a time: a mid-run reconfiguration
+     * retires it and rebuilds it against the new epoch
+     * (NetworkModel::onTopologyChanged), so it stays engaged across
+     * elastic runs.
      */
     bool routeCache = true;
     /**
@@ -91,6 +93,13 @@ struct SimConfig {
      * per arbitrated node. Changes no simulated event either way.
      */
     bool profileWavefront = false;
+    /**
+     * Run ReconfigEngine::checkInvariants() after every mid-traffic
+     * gate/ungate wave of an elastic run and throw on any
+     * inconsistency. Always on in debug builds (!NDEBUG); this flag
+     * opts Release test binaries in. Changes no simulated event.
+     */
+    bool validateReconfig = false;
 
     /** Nanoseconds per network cycle (312.5 MHz). */
     static constexpr double kNsPerCycle = 3.2;

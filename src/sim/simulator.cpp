@@ -4,6 +4,10 @@
 #include <cmath>
 #include <deque>
 #include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/string_figure.hpp"
 
 namespace sf::sim {
 
@@ -53,6 +57,8 @@ fillMeasuredStats(RunResult &result, const NetStats &stats)
     result.wavefrontCycles = stats.wavefrontCycles;
     result.wavefrontMaxWalk = stats.wavefrontMaxWalk;
     result.wavefrontMaxDepth = stats.wavefrontMaxDepth;
+    result.droppedUnroutable = stats.droppedUnroutable;
+    result.topologyEpochs = stats.topologyEpochs;
     if (stats.wavefrontCycles > 0) {
         const double cycles =
             static_cast<double>(stats.wavefrontCycles);
@@ -72,9 +78,8 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
              const RunPhases &phases, Executor *executor)
 {
     NetworkModel net(topo, cfg);
-    // Synthetic runs never reconfigure the topology, which is the
-    // precondition of both route planes (network.hpp): the sharded
-    // one and the memoized one.
+    // Synthetic runs never reconfigure, so the whole run is one
+    // topology epoch for both route planes (network.hpp).
     net.setRouteExecutor(executor);
     net.enableRouteCache();
     Rng traffic_rng(cfg.seed * 0x9e3779b9ULL + 17);
@@ -153,16 +158,33 @@ runSynthetic(const net::Topology &topo, TrafficPattern pattern,
     return result;
 }
 
+namespace {
+
+/** Fixed degradation-window length for reconvergence telemetry:
+ *  power of two, long enough for a stable window p99 at serving
+ *  rates, short enough to resolve a blip inside one measure phase. */
+constexpr Cycle kReconvergeWindow = 256;
+
+/**
+ * The open-loop driver behind runOpenLoop and runElastic. With
+ * @p schedule null (or empty) this is the exact runOpenLoop
+ * engine, event for event; otherwise @p elastic must alias
+ * @p topo, and the schedule's waves apply serially at cycle
+ * barriers with degradation-window telemetry around each.
+ */
 RunResult
-runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
-            const ArrivalConfig &arrivals, double rate,
-            const SimConfig &cfg, const RunPhases &phases,
-            Executor *executor)
+runOpenLoopImpl(const net::Topology &topo, TrafficPattern pattern,
+                const ArrivalConfig &arrivals, double rate,
+                const SimConfig &cfg, const RunPhases &phases,
+                Executor *executor, core::StringFigure *elastic,
+                const ReconfigSchedule *schedule)
 {
     NetworkModel net(topo, cfg);
-    // Open-loop runs never reconfigure the topology — the
-    // precondition of both route planes, exactly as in
-    // runSynthetic.
+    // Both route planes stay enabled even when the run
+    // reconfigures: waves apply serially at a cycle barrier and
+    // advance the topology generation, and each epoch shards and
+    // memoizes against an immutable-within-epoch snapshot
+    // (network.hpp).
     net.setRouteExecutor(executor);
     net.enableRouteCache();
     const auto nodes = liveNodes(topo);
@@ -192,6 +214,7 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
     const Cycle measure_end = phases.warmup + phases.measure;
     const Cycle hard_end = measure_end + phases.drainLimit;
     std::uint64_t measured_injected = 0;
+    std::uint64_t measured_dropped = 0;
     std::uint64_t delivered_at_measure_start = 0;
     std::uint64_t delivered_at_measure_end = 0;
     // Deeper early-abort cap than runSynthetic's: on/off arrival
@@ -200,13 +223,150 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
     // burst working set means the offered load exceeds capacity.
     const std::uint64_t backlog_cap = nodes.size() * 24;
 
+    // Elastic bookkeeping: the schedule cursor, and the
+    // degradation-window tracker of the wave in flight.
+    const bool reconfiguring = schedule && !schedule->empty();
+    std::size_t next_ev = 0;
+    int active_wave = -1;
+    std::uint64_t wave_drop_base = 0;
+    std::uint64_t wave_esc_base = 0;
+    LogHistogram window_snap;
+    Cycle last_window_p99 = 0;
+    bool last_window_valid = false;
+    if (reconfiguring) {
+        // Measured packets whose destination vanished must count
+        // toward the drain condition, or the run would wait forever
+        // for deliveries that can no longer happen.
+        net.setDropHandler([&](const Packet &p, Cycle) {
+            if (p.measured)
+                ++measured_dropped;
+        });
+    }
+
+    const auto finalize_wave = [&](Cycle end) {
+        if (active_wave < 0)
+            return;
+        ReconfigEventStats &ev = result.reconfigEvents
+            [static_cast<std::size_t>(active_wave)];
+        ev.reconvergeCycles = end > ev.at ? end - ev.at : 0;
+        ev.dropBurst =
+            net.stats().droppedUnroutable - wave_drop_base;
+        ev.escalationBurst =
+            net.stats().escapeTransfers - wave_esc_base;
+        active_wave = -1;
+    };
+
+    const auto apply_wave = [&](Cycle now) {
+        finalize_wave(now);
+        ReconfigEventStats ev;
+        ev.at = now;
+        int applied = 0;
+        while (next_ev < schedule->events.size() &&
+               schedule->events[next_ev].at <= now) {
+            const ReconfigEvent &e = schedule->events[next_ev++];
+            switch (e.action) {
+            case ReconfigAction::Leave: {
+                if (!elastic->reconfig().canGate(e.node)) {
+                    ++ev.refused;
+                    break;
+                }
+                const auto r = elastic->gate(e.node);
+                ev.gated += r.applied ? 1 : 0;
+                ev.holes += r.holes;
+                applied += r.applied ? 1 : 0;
+                break;
+            }
+            case ReconfigAction::Fail: {
+                // No feasibility courtesy: the node is gone whether
+                // or not its rings can be repaired.
+                const bool forced =
+                    elastic->nodeAlive(e.node) &&
+                    !elastic->reconfig().canGate(e.node);
+                const auto r = elastic->gate(e.node);
+                ev.gated += r.applied ? 1 : 0;
+                ev.failForced += (forced && r.applied) ? 1 : 0;
+                ev.holes += r.holes;
+                applied += r.applied ? 1 : 0;
+                break;
+            }
+            case ReconfigAction::Join: {
+                const auto r = elastic->ungate(e.node);
+                ev.ungated += r.applied ? 1 : 0;
+                applied += r.applied ? 1 : 0;
+                break;
+            }
+            }
+        }
+        // One epoch per wave: the generation advances exactly once
+        // no matter how many nodes the wave touched.
+        if (applied > 0)
+            net.onTopologyChanged();
+#ifdef NDEBUG
+        const bool validate = cfg.validateReconfig;
+#else
+        const bool validate = true;
+#endif
+        if (validate) {
+            const std::string err =
+                elastic->reconfig().checkInvariants();
+            if (!err.empty())
+                throw std::runtime_error(
+                    "reconfig invariants violated mid-run: " + err);
+        }
+        ev.baselineP99 =
+            last_window_valid
+                ? last_window_p99
+                : net.stats().totalLatencyLog.percentile(0.99);
+        wave_drop_base = net.stats().droppedUnroutable;
+        wave_esc_base = net.stats().escapeTransfers;
+        active_wave =
+            static_cast<int>(result.reconfigEvents.size());
+        result.reconfigEvents.push_back(ev);
+    };
+
     Cycle cycle = 0;
     for (; cycle < hard_end; ++cycle) {
         if (cycle == phases.warmup)
             delivered_at_measure_start =
                 net.stats().deliveredPackets;
-        if (cycle == measure_end)
+        if (cycle == measure_end) {
             delivered_at_measure_end = net.stats().deliveredPackets;
+            // Measured samples stop here, so reconvergence cannot
+            // be observed past this point: close any open wave.
+            finalize_wave(measure_end);
+        }
+
+        // Degradation windows: at each fixed boundary, extract the
+        // window's p99 from the log-bucket bin deltas and test the
+        // active wave against the tolerance band (<= 1.25x the
+        // pre-wave baseline). Pure functions of the event stream —
+        // identical at every jobs/shards/route-cache setting.
+        if (reconfiguring && cycle > 0 && cycle <= measure_end &&
+            (cycle & (kReconvergeWindow - 1)) == 0) {
+            const LogHistogram &log = net.stats().totalLatencyLog;
+            if (log.countSince(window_snap) > 0) {
+                const Cycle w =
+                    log.percentileSince(window_snap, 0.99);
+                if (active_wave >= 0) {
+                    ReconfigEventStats &ev = result.reconfigEvents
+                        [static_cast<std::size_t>(active_wave)];
+                    ev.blipP99 = std::max(ev.blipP99, w);
+                    if (w * 4 <= ev.baselineP99 * 5) {
+                        ev.reconverged = true;
+                        finalize_wave(cycle);
+                    }
+                }
+                last_window_p99 = w;
+                last_window_valid = true;
+            }
+            window_snap = log;
+        }
+
+        // Reconfig waves apply serially at the cycle barrier:
+        // before injection, before the network steps.
+        if (reconfiguring && next_ev < schedule->events.size() &&
+            schedule->events[next_ev].at <= cycle)
+            apply_wave(cycle);
 
         const bool in_measure =
             cycle >= phases.warmup && cycle < measure_end;
@@ -220,7 +380,12 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
                 const NodeId src = nodes[i];
                 const NodeId dst = trafficDestination(
                     pattern, src, n_all, destRng[i]);
-                if (dst == src || !topo.nodeAlive(dst))
+                // Gated sources and destinations skip the inject
+                // but still consume their stream draws, so the
+                // schedules of the surviving nodes are untouched
+                // by who else is live.
+                if (dst == src || !topo.nodeAlive(dst) ||
+                    !topo.nodeAlive(src))
                     continue;
                 net.inject(src, dst, cfg.packetFlits, kRequest,
                            cycle, 0, in_measure);
@@ -235,11 +400,13 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
             break;
         }
         if (cycle >= measure_end &&
-            net.stats().measuredPackets >= measured_injected)
-            break;  // every measured packet delivered
+            net.stats().measuredPackets + measured_dropped >=
+                measured_injected)
+            break;  // every measured packet delivered or dropped
     }
     if (cycle >= hard_end)
         result.saturated = true;
+    finalize_wave(std::min(cycle, measure_end));
 
     fillMeasuredStats(result, net.stats());
     result.simulatedCycles = cycle;
@@ -264,6 +431,28 @@ runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
         }
     }
     return result;
+}
+
+} // namespace
+
+RunResult
+runOpenLoop(const net::Topology &topo, TrafficPattern pattern,
+            const ArrivalConfig &arrivals, double rate,
+            const SimConfig &cfg, const RunPhases &phases,
+            Executor *executor)
+{
+    return runOpenLoopImpl(topo, pattern, arrivals, rate, cfg,
+                           phases, executor, nullptr, nullptr);
+}
+
+RunResult
+runElastic(core::StringFigure &topo, TrafficPattern pattern,
+           const ArrivalConfig &arrivals, double rate,
+           const ReconfigSchedule &schedule, const SimConfig &cfg,
+           const RunPhases &phases, Executor *executor)
+{
+    return runOpenLoopImpl(topo, pattern, arrivals, rate, cfg,
+                           phases, executor, &topo, &schedule);
 }
 
 double

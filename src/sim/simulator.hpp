@@ -13,8 +13,13 @@
 #include "net/topology.hpp"
 #include "sim/executor.hpp"
 #include "sim/network.hpp"
+#include "sim/reconfig_schedule.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/traffic.hpp"
+
+namespace sf::core {
+class StringFigure;
+}
 
 namespace sf::sim {
 
@@ -60,6 +65,41 @@ struct RunPhases {
     }
 };
 
+/**
+ * Degradation-window telemetry of one reconfiguration wave (all
+ * schedule events sharing a cycle): what the wave did to the
+ * topology, and how the serving tail responded. Window percentiles
+ * come from the log-bucket histogram's bin deltas over fixed
+ * 256-cycle windows, so every field is a pure function of the
+ * simulated event stream — byte-identical across jobs, shards, and
+ * route-cache settings.
+ */
+struct ReconfigEventStats {
+    Cycle at = 0;       ///< wave cycle (events applied at its start)
+    int gated = 0;      ///< Leave/Fail gates applied
+    int ungated = 0;    ///< Join ungates applied
+    int refused = 0;    ///< Leaves skipped (canGate said no)
+    int failForced = 0; ///< Fails applied where canGate said no
+    int holes = 0;      ///< ring holes this wave left open
+    /** p99 of the last non-empty pre-wave window (cumulative p99
+     *  when the wave precedes any complete window). */
+    Cycle baselineP99 = 0;
+    /** Worst window p99 between the wave and reconvergence. */
+    Cycle blipP99 = 0;
+    /**
+     * Cycles until a window p99 returned within the tolerance band
+     * (<= 1.25x baseline); the degradation-window SLO. When the
+     * wave never reconverged (reconverged == false), the span to
+     * the end of observation instead.
+     */
+    Cycle reconvergeCycles = 0;
+    bool reconverged = false;
+    /** Packets dropped (destination gated away) in the window. */
+    std::uint64_t dropBurst = 0;
+    /** Packets escalated to escape channels in the window. */
+    std::uint64_t escalationBurst = 0;
+};
+
 /** Outcome of one synthetic-traffic run. */
 struct RunResult {
     double avgTotalLatency = 0.0;   ///< create -> eject, cycles
@@ -93,6 +133,13 @@ struct RunResult {
     std::uint64_t wavefrontMaxWalk = 0;
     std::uint64_t wavefrontMaxDepth = 0;
     std::uint64_t wavefrontCycles = 0;
+    /** Packets dropped because their destination was gated away
+     *  mid-flight (elastic runs; 0 on immutable topologies). */
+    std::uint64_t droppedUnroutable = 0;
+    /** Topology generations applied during the run. */
+    std::uint64_t topologyEpochs = 0;
+    /** Per-wave degradation-window telemetry (runElastic only). */
+    std::vector<ReconfigEventStats> reconfigEvents;
 };
 
 /**
@@ -137,6 +184,35 @@ RunResult runOpenLoop(const net::Topology &topo,
                       const SimConfig &cfg,
                       const RunPhases &phases = RunPhases::openLoop(),
                       Executor *executor = nullptr);
+
+/**
+ * Run open-loop traffic (exactly as runOpenLoop) while applying
+ * @p schedule's reconfiguration events to @p topo mid-run: each
+ * wave of same-cycle events gates/ungates serially at the cycle
+ * barrier before injection, then advances the network model's
+ * topology generation once. Leave events honour the canGate
+ * feasibility courtesy (a refused victim is skipped and counted);
+ * Fail events gate unconditionally, exercising the escalation and
+ * drop paths for in-flight packets whose destination vanished —
+ * measured drops count toward the drain condition so the run still
+ * terminates. Per-wave degradation-window telemetry (p99 blip,
+ * drop/escalation bursts, cycles-to-reconverge) lands in
+ * RunResult::reconfigEvents.
+ *
+ * The sharded route plane and the memoized route cache stay
+ * enabled across every reconfiguration: both shard/memoize against
+ * an immutable-within-epoch snapshot (network.hpp), so results are
+ * byte-identical at every job, shard, and route-cache setting —
+ * with an empty schedule, byte-identical to runOpenLoop. @p topo
+ * is gated in place and finishes in the schedule's final liveness
+ * state (callers own restoration).
+ */
+RunResult runElastic(core::StringFigure &topo, TrafficPattern pattern,
+                     const ArrivalConfig &arrivals, double rate,
+                     const ReconfigSchedule &schedule,
+                     const SimConfig &cfg,
+                     const RunPhases &phases = RunPhases::openLoop(),
+                     Executor *executor = nullptr);
 
 /** Zero-load average packet latency (very light uniform traffic). */
 double zeroLoadLatency(const net::Topology &topo,

@@ -210,6 +210,41 @@ class LogHistogram
         return max_;
     }
 
+    /**
+     * Count of samples recorded after @p snapshot was copied from
+     * this histogram (windowed counting for reconvergence telemetry).
+     */
+    std::uint64_t
+    countSince(const LogHistogram &snapshot) const
+    {
+        return count_ - snapshot.count_;
+    }
+
+    /**
+     * Latency at quantile @p q among only the samples recorded
+     * after @p snapshot was copied from this histogram. Because
+     * merge/record are element-wise, the bin deltas are exactly the
+     * window's multiset — the windowed percentile is as
+     * deterministic as the cumulative one. Returns 0 for an empty
+     * window.
+     */
+    Cycle
+    percentileSince(const LogHistogram &snapshot, double q) const
+    {
+        const std::uint64_t n = count_ - snapshot.count_;
+        if (n == 0)
+            return 0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(n - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += bins_[i] - snapshot.bins_[i];
+            if (seen > target)
+                return std::min(bucketFloor(i), max_);
+        }
+        return max_;
+    }
+
     /** The standard reporting cut: p50/p95/p99/p999/max + mean. */
     LatencySummary
     summary() const
@@ -266,6 +301,20 @@ struct NetStats {
     std::uint64_t escapeTransfers = 0;  ///< packets forced to escape
     std::uint64_t escapeHops = 0;
     std::uint64_t droppedUnroutable = 0;  ///< dst gated mid-flight
+
+    /**
+     * Topology generations applied (onTopologyChanged calls); the
+     * model's current epoch. Knob-independent: identical at every
+     * job/shard/route-cache setting.
+     */
+    std::uint64_t topologyEpochs = 0;
+    /**
+     * Memoized route-plane retire-and-rebuild handoffs across epoch
+     * boundaries. Proof that reconfiguration rebuilds the cache
+     * instead of permanently retiring it; knob-*dependent* (0 with
+     * the cache off), so tests assert it and reports must not.
+     */
+    std::uint64_t routeCacheRebuilds = 0;
 
     /**
      * Commit-wavefront cost model (SimConfig::profileWavefront):

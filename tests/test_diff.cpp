@@ -229,6 +229,66 @@ TEST(Diff, PercentileMetricsExactCompareRegardlessOfTolerance)
     EXPECT_TRUE(diffReports(nd_a, nd_b, loose).clean());
 }
 
+/**
+ * Reconvergence metrics from the elastic experiments (the per-wave
+ * `ev<k>_blip` / `ev<k>_*_burst` / `ev<k>_reconverge` suffixes) are
+ * deterministic degradation-window measurements, exact-compared
+ * like percentiles: a longer blip or a bigger drop burst must gate
+ * no matter how loose the tolerance.
+ */
+TEST(Diff, ReconvergenceMetricsExactCompareRegardlessOfTolerance)
+{
+    EXPECT_TRUE(isReconvergenceMetric("ev0_blip"));
+    EXPECT_TRUE(isReconvergenceMetric("ev1_drop_burst"));
+    EXPECT_TRUE(isReconvergenceMetric("ev2_esc_burst"));
+    EXPECT_TRUE(isReconvergenceMetric("ev3_reconverge"));
+    EXPECT_FALSE(isReconvergenceMetric("holes"));
+    EXPECT_FALSE(isReconvergenceMetric("drops"));
+    EXPECT_FALSE(isReconvergenceMetric("ev0_holes"));
+    EXPECT_FALSE(isReconvergenceMetric("blipper"));
+    EXPECT_FALSE(isReconvergenceMetric("bursts"));
+
+    const auto doc = [](std::int64_t blip, std::int64_t holes) {
+        Json r = Json::object();
+        r.set("id", "n64/uniform/SF/fail/r0.0200");
+        r.set("seed", std::uint64_t{1});
+        r.set("params", Json::object());
+        Json m = Json::object();
+        m.set("ev0_blip", blip);
+        m.set("holes", holes);
+        r.set("metrics", std::move(m));
+        Json e = Json::object();
+        e.set("name", "elastic_serving");
+        e.set("deterministic", true);
+        Json runs = Json::array();
+        runs.push(std::move(r));
+        e.set("runs", std::move(runs));
+        Json d = Json::object();
+        d.set("schema", "sf-exp-report-v1");
+        Json exps = Json::array();
+        exps.push(std::move(e));
+        d.set("experiments", std::move(exps));
+        return d;
+    };
+
+    DiffOptions loose;
+    loose.tolerance = 0.50;  // would excuse a 50% swing
+
+    // Both metrics drift ~2%: the aggregate counter passes under
+    // the loose tolerance, the reconvergence metric still gates.
+    const ReportDiff d =
+        diffReports(doc(100, 100), doc(102, 102), loose);
+    EXPECT_FALSE(d.clean());
+    EXPECT_EQ(d.regressions, 1u);
+    ASSERT_EQ(d.changed.size(), 2u);
+    for (const MetricDelta &delta : d.changed) {
+        EXPECT_EQ(delta.regression, delta.metric == "ev0_blip")
+            << delta.metric;
+    }
+    EXPECT_TRUE(
+        diffReports(doc(100, 100), doc(100, 100), loose).clean());
+}
+
 TEST(Diff, NonDeterministicExperimentsNeverGate)
 {
     const Json a = report(100.0, 200.0, false);

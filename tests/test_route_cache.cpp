@@ -7,10 +7,11 @@
  * on first touch (fill) and on every repeat (hit) — across every
  * topology kind the factory builds, both wire directions, the
  * two-hop-table ablation, and degraded (gated) String Figures.
- * Also pins the lifecycle gate (reconfiguration retires the cache
- * for the model's lifetime) and the contiguous-block concurrent
- * fill discipline the sharded route plane relies on (run under
- * TSan in CI).
+ * Also pins the per-epoch lifecycle (a reconfiguration retires the
+ * cache for the ended topology generation and immediately rebuilds
+ * it for the new one) and the contiguous-block concurrent fill
+ * discipline the sharded route plane relies on (run under TSan in
+ * CI).
  */
 
 #include <gtest/gtest.h>
@@ -148,7 +149,7 @@ TEST(RouteCache, ServesNoRouteAndRepeatsIt)
 
 // --------------------------------------------------- lifecycle
 
-TEST(RouteCache, ReconfigRetiresCacheForModelLifetime)
+TEST(RouteCache, ReconfigRetiresAndRebuildsCachePerEpoch)
 {
     StringFigure topo(
         makeParams(64, 8, LinkMode::Unidirectional, true));
@@ -158,15 +159,46 @@ TEST(RouteCache, ReconfigRetiresCacheForModelLifetime)
     EXPECT_FALSE(model.routeCacheActive());
     model.enableRouteCache();
     EXPECT_TRUE(model.routeCacheActive());
+    EXPECT_EQ(model.topologyEpoch(), 0u);
 
-    // Reconfiguration breaks the immutability premise: the cache
-    // must retire immediately and refuse to re-engage.
+    // A reconfiguration ends the cache's topology generation: the
+    // stale cache retires at the epoch barrier and a fresh one is
+    // built against the new generation in the same call, so the
+    // memoized plane stays engaged across elastic runs.
     ASSERT_TRUE(topo.gate(11).applied);
     model.onTopologyChanged();
-    EXPECT_FALSE(model.routeCacheActive());
+    EXPECT_TRUE(model.routeCacheActive())
+        << "route cache permanently retired by a reconfiguration";
+    EXPECT_EQ(model.topologyEpoch(), 1u);
+    EXPECT_EQ(model.stats().routeCacheRebuilds, 1u);
+
+    ASSERT_TRUE(topo.gate(23).applied);
+    model.onTopologyChanged();
+    EXPECT_TRUE(model.routeCacheActive());
+    EXPECT_EQ(model.topologyEpoch(), 2u);
+    EXPECT_EQ(model.stats().routeCacheRebuilds, 2u);
+}
+
+TEST(RouteCache, EnableAfterReconfigEpochEngagesFreshCache)
+{
+    StringFigure topo(
+        makeParams(64, 8, LinkMode::Unidirectional, true));
+    sim::SimConfig cfg;
+    cfg.routeCache = true;
+    sim::NetworkModel model(topo, cfg);
+
+    // Reconfigure while no cache is engaged: the epoch advances,
+    // nothing rebuilds (there was nothing to retire) ...
+    ASSERT_TRUE(topo.gate(11).applied);
+    model.onTopologyChanged();
+    EXPECT_EQ(model.topologyEpoch(), 1u);
+    EXPECT_EQ(model.stats().routeCacheRebuilds, 0u);
+
+    // ... and a later enable builds against the *current*
+    // generation — supported at any epoch, exactly as documented.
     model.enableRouteCache();
-    EXPECT_FALSE(model.routeCacheActive())
-        << "route cache re-engaged after a reconfiguration";
+    EXPECT_TRUE(model.routeCacheActive())
+        << "enableRouteCache refused after a reconfig epoch";
 }
 
 TEST(RouteCache, ConfigOffKeepsCacheDisengaged)

@@ -314,6 +314,12 @@ INSTANTIATE_TEST_SUITE_P(
  * local-delivery queue). The audit walks every queue and the slab
  * pool independently of the stats counters, so double-frees, leaks
  * and lost FIFO links all surface as a mismatch.
+ *
+ * The run spans a full gate/ungate cycle under load, and after each
+ * mid-traffic topology change the reconfiguration engine's own
+ * structural audit (ReconfigEngine::checkInvariants) must also come
+ * back clean — wire state, ring closures, and routing tables stay
+ * consistent exactly when traffic is in flight.
  */
 TEST(Network, ConservationInvariantAtEveryStep)
 {
@@ -368,10 +374,26 @@ TEST(Network, ConservationInvariantAtEveryStep)
             // conservation must hold through the drop path too.
             ASSERT_TRUE(topo.gate(victim).applied);
             net.onTopologyChanged();
+            EXPECT_EQ(topo.reconfig().checkInvariants(), "");
             gated = true;
+        }
+        if (cycle == 1100) {
+            // Bring the victim back mid-run: the ungate leg of the
+            // same audit. The random traffic above resumes sending
+            // to (and from) the former victim on its own once
+            // nodeAlive(victim) is true again.
+            ASSERT_TRUE(topo.ungate(victim).applied);
+            net.onTopologyChanged();
+            EXPECT_EQ(topo.reconfig().checkInvariants(), "");
+            ASSERT_TRUE(topo.nodeAlive(victim));
+            for (NodeId s = 0; s < 12; ++s) {
+                if (s != victim)
+                    net.inject(s, victim, 5, kRequest, cycle);
+            }
         }
     }
     ASSERT_TRUE(gated);
+    EXPECT_EQ(topo.reconfig().checkInvariants(), "");
     for (; net.inFlight() > 0 && cycle < 60000; ++cycle) {
         net.step(cycle);
         check();
