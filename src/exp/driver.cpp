@@ -17,6 +17,7 @@
 
 #include "exp/diff.hpp"
 #include "exp/registry.hpp"
+#include "exp/render.hpp"
 #include "exp/report.hpp"
 #include "exp/run_store.hpp"
 #include "exp/scheduler.hpp"
@@ -38,6 +39,10 @@ struct CliOptions {
      *  like --shards — byte-identical on or off — kept as a flag
      *  for A/B benchmarking; resume may override it freely. */
     bool routeCache = true;
+    /** Commit-wavefront width (sim.wavefront). An execution knob
+     *  like --shards — byte-identical at any width — so resume may
+     *  override it freely. */
+    int wavefront = 0;
     /** Routing policy (sim.policy). NOT an execution knob:
      *  non-greedy policies change simulated events, so the value
      *  is part of the sweep — recorded in checkpoint meta.json and
@@ -84,6 +89,11 @@ printUsage(std::FILE *to)
         "                                 entries, prune empty "
         "directories\n"
         "  sfx diff <base.json> <new.json>  compare two reports\n"
+        "  sfx render <report.json> --table <name>  normalised\n"
+        "                                 paper-table view of a "
+        "report\n"
+        "                                 (tables: "
+        "throughput-vs-dm)\n"
         "\n"
         "run options:\n"
         "  --jobs N      worker threads (default: all cores)\n"
@@ -92,6 +102,11 @@ printUsage(std::FILE *to)
         "                 reports are byte-identical at any N)\n"
         "  --route-cache on|off  memoized route plane (default on;\n"
         "                 reports are byte-identical either way)\n"
+        "  --wavefront N  commit-wavefront width: up to N per-node\n"
+        "                 decide stages in flight ahead of the\n"
+        "                 serial commit cursor (default 0 = serial\n"
+        "                 walk; reports are byte-identical at any "
+        "N)\n"
         "  --policy P    routing policy: greedy | ugal | "
         "table_oracle\n"
         "                 (default greedy; non-greedy changes "
@@ -123,8 +138,8 @@ printUsage(std::FILE *to)
         "interrupt,\n"
         "                 exit 3); finish with `sfx resume DIR`\n"
         "\n"
-        "resume options: --jobs, --shards, --route-cache, --out, "
-        "--timing, --quiet, --max-runs\n"
+        "resume options: --jobs, --shards, --route-cache, "
+        "--wavefront, --out, --timing, --quiet, --max-runs\n"
         "(pattern, effort, seed, policy, --reconfig-schedule, and "
         "--runs come from the checkpoint's meta.json)\n"
         "\n"
@@ -206,6 +221,16 @@ parseRunOptions(int argc, char **argv, int first, CliOptions &opts,
             if (opts.shards < 1) {
                 std::fprintf(stderr,
                              "sfx: --shards must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--wavefront") {
+            char *v = need_value("--wavefront");
+            if (!v)
+                return false;
+            opts.wavefront = std::atoi(v);
+            if (opts.wavefront < 0) {
+                std::fprintf(stderr,
+                             "sfx: --wavefront must be >= 0\n");
                 return false;
             }
         } else if (arg == "--route-cache") {
@@ -439,6 +464,7 @@ doRun(const CliOptions &opts)
     sched.jobs = opts.jobs;
     sched.shards = opts.shards;
     sched.routeCache = opts.routeCache;
+    sched.wavefront = opts.wavefront;
     sched.policy = opts.policy;
     sched.effort = opts.effort;
     sched.baseSeed = opts.baseSeed;
@@ -566,6 +592,7 @@ doRun(const CliOptions &opts)
         ropts.baseSeed = opts.baseSeed;
         ropts.jobs = opts.jobs;
         ropts.shards = opts.shards;
+        ropts.wavefront = opts.wavefront;
         ropts.policy = opts.policy;
         ropts.includeTiming = opts.timing;
         try {
@@ -651,6 +678,52 @@ doResume(int argc, char **argv)
     }
     opts.checkpointDir = dir;
     return doRun(opts);
+}
+
+int
+doRender(int argc, char **argv)
+{
+    std::string table;
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--table") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "sfx: --table needs a name\n");
+                return 2;
+            }
+            table = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sfx: unknown option: %s\n",
+                         argv[i]);
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "sfx: unexpected argument: %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (path.empty() || table.empty()) {
+        std::fprintf(stderr,
+                     "sfx: usage: sfx render <report.json> "
+                     "--table <name>\n");
+        return 2;
+    }
+    try {
+        const Json report = Json::parse(readFile(path));
+        std::fputs(renderReportTable(report, table).c_str(),
+                   stdout);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfx: %s\n", e.what());
+        return 2;
+    }
 }
 
 int
@@ -1124,6 +1197,8 @@ sfxMain(int argc, char **argv)
         return doList();
     if (command == "diff")
         return doDiff(argc, argv);
+    if (command == "render")
+        return doRender(argc, argv);
     if (command == "resume")
         return doResume(argc, argv);
     if (command == "checkpoint") {

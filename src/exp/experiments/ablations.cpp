@@ -74,6 +74,7 @@ adaptiveSpec()
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
                     cfg.routeCache = rc.routeCache;
+                    cfg.wavefront = rc.wavefront;
                     cfg.policy = rc.policy;
                     cfg.adaptive = adaptive;
                     Json m = Json::object();
@@ -123,6 +124,7 @@ balanceSpec()
                 cfg.seed = rc.seed;
                 cfg.shards = rc.shards;
                 cfg.routeCache = rc.routeCache;
+                cfg.wavefront = rc.wavefront;
                 cfg.policy = rc.policy;
                 Json m = Json::object();
                 m.set("avg_hops", stats.average);
@@ -287,6 +289,7 @@ unidirSpec()
                     cfg.seed = rc.seed;
                     cfg.shards = rc.shards;
                     cfg.routeCache = rc.routeCache;
+                    cfg.wavefront = rc.wavefront;
                     cfg.policy = rc.policy;
                     Json m = Json::object();
                     m.set("avg_hops",

@@ -1,0 +1,166 @@
+#include "exp/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace sf::exp {
+
+namespace {
+
+/** One parsed fig10 run: its grouping key, design, and rate. */
+struct SaturationCell {
+    std::string group;
+    std::string design;
+    double rate = 0.0;
+};
+
+std::string
+fixed2(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+/** Aligned-column rendering, matching renderTable()'s layout. */
+std::string
+renderRows(const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::string out;
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+const Json &
+findExperiment(const Json &report, const std::string &name)
+{
+    const Json *exps = report.find("experiments");
+    if (!exps || !exps->isArray())
+        throw std::runtime_error(
+            "not an sf-exp-report-v1 document: no experiments "
+            "array");
+    for (const Json &e : exps->asArray()) {
+        const Json *n = e.find("name");
+        if (n && n->isString() && n->asString() == name)
+            return e;
+    }
+    throw std::runtime_error("report has no '" + name +
+                             "' experiment; run it first (the "
+                             "table is derived, not stored)");
+}
+
+std::string
+throughputVsDm(const Json &report)
+{
+    const Json &exp = findExperiment(report, "fig10_saturation");
+    const Json *runs = exp.find("runs");
+    if (!runs || !runs->isArray() || runs->asArray().empty())
+        throw std::runtime_error(
+            "fig10_saturation has no runs in this report");
+
+    // Parse every run into (group, design, rate); groups and
+    // designs keep first-appearance order so the table reads like
+    // the report.
+    std::vector<SaturationCell> cells;
+    std::vector<std::string> groups;
+    std::vector<std::string> designs;
+    for (const Json &run : runs->asArray()) {
+        if (const Json *failed = run.find("failed");
+            failed && failed->isBool() && failed->asBool())
+            continue;
+        const Json *params = run.find("params");
+        const Json *metrics = run.find("metrics");
+        if (!params || !metrics)
+            continue;
+        const Json *pattern = params->find("pattern");
+        const Json *nodes = params->find("nodes");
+        const Json *design = params->find("design");
+        const Json *rate = metrics->find("saturation_rate");
+        if (!pattern || !nodes || !design || !rate ||
+            !rate->isNumber())
+            continue;
+        SaturationCell cell;
+        cell.group = pattern->asString() + "/n" +
+                     std::to_string(nodes->asInt());
+        cell.design = design->asString();
+        cell.rate = rate->asDouble();
+        bool group_known = false;
+        for (const std::string &g : groups)
+            group_known = group_known || g == cell.group;
+        if (!group_known)
+            groups.push_back(cell.group);
+        bool design_known = false;
+        for (const std::string &d : designs)
+            design_known = design_known || d == cell.design;
+        if (!design_known)
+            designs.push_back(cell.design);
+        cells.push_back(std::move(cell));
+    }
+    if (cells.empty())
+        throw std::runtime_error(
+            "no fig10_saturation run carries (pattern, nodes, "
+            "design, saturation_rate)");
+
+    std::vector<std::vector<std::string>> rows;
+    {
+        std::vector<std::string> header{"pattern/nodes"};
+        for (const std::string &d : designs)
+            header.push_back(d == "DM" ? "DM (=1.00)"
+                                       : d + " vs DM");
+        rows.push_back(std::move(header));
+    }
+    for (const std::string &group : groups) {
+        double dm_rate = 0.0;
+        for (const SaturationCell &cell : cells) {
+            if (cell.group == group && cell.design == "DM")
+                dm_rate = cell.rate;
+        }
+        if (dm_rate <= 0.0)
+            throw std::runtime_error(
+                "group '" + group +
+                "' has no DM baseline with a positive "
+                "saturation_rate to normalise against");
+        std::vector<std::string> row{group};
+        for (const std::string &design : designs) {
+            const SaturationCell *found = nullptr;
+            for (const SaturationCell &cell : cells) {
+                if (cell.group == group && cell.design == design)
+                    found = &cell;
+            }
+            row.push_back(found ? fixed2(found->rate / dm_rate)
+                                : "-");
+        }
+        rows.push_back(std::move(row));
+    }
+    return renderRows(rows);
+}
+
+} // namespace
+
+std::string
+renderReportTable(const Json &report, const std::string &table)
+{
+    if (table == "throughput-vs-dm")
+        return throughputVsDm(report);
+    throw std::runtime_error(
+        "unknown table '" + table +
+        "' (known tables: throughput-vs-dm)");
+}
+
+} // namespace sf::exp

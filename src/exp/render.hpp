@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Normalised-table rendering from a finished report (`sfx render`).
+ *
+ * The experiment runs deliberately emit *raw* metrics (saturation
+ * rates, latencies, energy counts) so reports stay byte-identical
+ * and diffable; the paper's headline tables are *normalised* views
+ * of those numbers (throughput relative to the DM baseline, energy
+ * relative to AFB, ...). This layer derives the normalised view
+ * from a report document after the fact — the report stays the
+ * source of truth, and a view can be regenerated from any archived
+ * BENCH_*.json without re-running a single simulation.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "exp/json.hpp"
+
+namespace sf::exp {
+
+/**
+ * Render the named normalised table from a parsed report document
+ * ("sf-exp-report-v1").
+ *
+ * Known tables:
+ *  - "throughput-vs-dm": the paper's normalised-throughput view of
+ *    `fig10_saturation` — one row per (pattern, nodes) group, one
+ *    column per design, each cell the group's saturation rate
+ *    relative to the DM design in the same group (DM = 1.00).
+ *
+ * Throws std::runtime_error on an unknown table name, a report
+ * that lacks the table's source experiment, or a group with no
+ * usable DM baseline.
+ */
+std::string renderReportTable(const Json &report,
+                              const std::string &table);
+
+} // namespace sf::exp

@@ -96,6 +96,17 @@ struct RunContext {
      */
     bool routeCache = true;
     /**
+     * Commit-wavefront width (`sfx --wavefront`,
+     * sim::SimConfig::wavefront): bodies that run the flit
+     * simulator should copy this into their SimConfig and pass
+     * `executor` through. The wavefront scheduler only changes
+     * which thread runs a node's decide stage — commits replay in
+     * exact serial σ-order — so results are byte-identical at
+     * every width, and like shards/routeCache it is an execution
+     * knob, never part of the run grid or the spec hash.
+     */
+    int wavefront = 0;
+    /**
      * Routing policy (`sfx --policy`, sim::SimConfig::policy):
      * bodies that run the flit simulator should copy this into
      * their SimConfig — UNLESS the policy is part of their own run

@@ -133,6 +133,17 @@ struct RunResult {
     std::uint64_t wavefrontMaxWalk = 0;
     std::uint64_t wavefrontMaxDepth = 0;
     std::uint64_t wavefrontCycles = 0;
+    /** Per-phase wall time of the cycle engine
+     *  (SimConfig::profilePhases, all zero otherwise): total
+     *  steady-clock nanoseconds spent in each pipeline phase of
+     *  docs/engine_phases.md across the profiled cycles. Divide by
+     *  phaseProfiledCycles for ns/cycle. */
+    std::uint64_t phaseProfiledCycles = 0;
+    std::uint64_t phaseLandNs = 0;
+    std::uint64_t phaseSnapshotNs = 0;
+    std::uint64_t phaseRouteNs = 0;
+    std::uint64_t phaseDecideNs = 0;
+    std::uint64_t phaseCommitNs = 0;
     /** Packets dropped because their destination was gated away
      *  mid-flight (elastic runs; 0 on immutable topologies). */
     std::uint64_t droppedUnroutable = 0;

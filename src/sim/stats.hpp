@@ -335,6 +335,23 @@ struct NetStats {
     std::uint64_t wavefrontDepthSum = 0;    ///< sum of chain depths
     std::uint64_t wavefrontMaxDepth = 0;    ///< max per-cycle depth
 
+    /**
+     * Per-phase wall-clock breakdown (SimConfig::profilePhases):
+     * steady-clock nanoseconds accumulated in each of the five
+     * cycle phases — Land (arrival heap drain + loopbacks),
+     * Snapshot (congestion freeze), Route (pure route plane,
+     * sharded or inline), Arbitrate-decide (per-node decisions and
+     * own-state mutation), Commit (σ-order effect-set replay) —
+     * over phaseProfiledCycles step() calls. Wall-clock only:
+     * changes no simulated event and never lands in a report.
+     */
+    std::uint64_t phaseProfiledCycles = 0;
+    std::uint64_t phaseLandNs = 0;
+    std::uint64_t phaseSnapshotNs = 0;
+    std::uint64_t phaseRouteNs = 0;
+    std::uint64_t phaseDecideNs = 0;
+    std::uint64_t phaseCommitNs = 0;
+
     double
     avgHops() const
     {

@@ -247,10 +247,13 @@ using namespace sf::exp;
 
 /** The driver's `sfx run hockey_stick --quick --runs '*SF*'` flow,
  *  in-process: plan, filter to the String Figure slice, schedule,
- *  report — at any job count, route-plane shard count, and route
- *  cache setting. */
+ *  report — at any job count, route-plane shard count, route cache
+ *  setting, commit-wavefront width, and routing policy. */
 std::string
-hockeySliceReport(int jobs, int shards = 1, bool route_cache = true)
+hockeySliceReport(int jobs, int shards = 1, bool route_cache = true,
+                  int wavefront = 0,
+                  core::RoutingPolicyKind policy =
+                      core::RoutingPolicyKind::Greedy)
 {
     const auto specs = registry().match("hockey_stick");
     PlanContext plan_ctx;
@@ -268,6 +271,8 @@ hockeySliceReport(int jobs, int shards = 1, bool route_cache = true)
         sched.jobs = jobs;
         sched.shards = shards;
         sched.routeCache = route_cache;
+        sched.wavefront = wavefront;
+        sched.policy = policy;
         sched.effort = Effort::Quick;
         ExperimentResults results;
         results.spec = spec;
@@ -281,6 +286,7 @@ hockeySliceReport(int jobs, int shards = 1, bool route_cache = true)
     ReportOptions ropts;
     ropts.effort = Effort::Quick;
     ropts.jobs = jobs;
+    ropts.policy = policy;
     return buildReport(all, ropts).dump(2) + "\n";
 }
 
@@ -326,6 +332,56 @@ TEST(HockeyStick, RouteCacheOffMatchesGoldenAcrossMatrix)
             EXPECT_EQ(hockeySliceReport(jobs, shards, false),
                       golden)
                 << "--route-cache off diverged at --jobs " << jobs
+                << " --shards " << shards;
+        }
+    }
+}
+
+/** The commit-wavefront scheduler must leave the open-loop family's
+ *  bytes untouched at every width, crossed against the other two
+ *  execution knobs. Width 0 is the serial phase pipeline (already
+ *  pinned above, kept here as the matrix anchor); widths 2 and 8
+ *  engage the decide/commit ring on the near-saturation points. */
+TEST(HockeyStick, WavefrontMatchesGoldenAcrossMatrix)
+{
+    const std::string golden = hockeyGoldenBytes();
+    ASSERT_FALSE(golden.empty());
+    for (const int wavefront : {0, 2, 8}) {
+        for (const int jobs : {1, 8}) {
+            for (const int shards : {1, 4}) {
+                for (const bool cache : {true, false}) {
+                    EXPECT_EQ(hockeySliceReport(jobs, shards,
+                                                cache, wavefront),
+                              golden)
+                        << "--wavefront " << wavefront
+                        << " diverged at --jobs " << jobs
+                        << " --shards " << shards
+                        << (cache ? "" : " --route-cache off");
+                }
+            }
+        }
+    }
+}
+
+/** The UGAL policy rides the same determinism contract: its own
+ *  committed golden (tests/golden/hockey_sf64_ugal_quick.json,
+ *  regenerated via `sfx run hockey_stick --quick --runs '*SF*'
+ *  --jobs 1 --policy ugal --out ...`) must be byte-identical
+ *  across the jobs x shards matrix. */
+TEST(HockeyStick, UgalMatchesGoldenAcrossMatrix)
+{
+    const std::string golden =
+        readFile(std::string(SF_SOURCE_DIR) +
+                 "/tests/golden/hockey_sf64_ugal_quick.json");
+    ASSERT_FALSE(golden.empty());
+    for (const int jobs : {1, 8}) {
+        for (const int shards : {1, 4}) {
+            EXPECT_EQ(
+                hockeySliceReport(
+                    jobs, shards, true, 0,
+                    core::RoutingPolicyKind::Ugal),
+                golden)
+                << "UGAL diverged at --jobs " << jobs
                 << " --shards " << shards;
         }
     }

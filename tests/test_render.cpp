@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the normalised-table render layer (`sfx render`): the
+ * throughput-vs-dm view derived from a fig10_saturation report,
+ * exercised on a hand-built fixture so every normalisation,
+ * ordering, and error path is pinned independently of the
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/json.hpp"
+#include "exp/render.hpp"
+
+namespace {
+
+using namespace sf::exp;
+
+/** A minimal sf-exp-report-v1 document with two fig10 groups:
+ *  uniform/n64 (all four designs; DM rate 0.05 so SF=2.00,
+ *  ODM=4.00, S2=0.50) and tornado/n64 (DM and SF only, plus one
+ *  failed ODM run that must be skipped, not rendered). */
+std::string
+fixtureReport()
+{
+    return R"({
+      "schema": "sf-exp-report-v1",
+      "suite": "string-figure",
+      "experiments": [
+        {"name": "table2_features", "runs": []},
+        {"name": "fig10_saturation", "runs": [
+          {"id": "uniform/n64/DM",
+           "params": {"pattern": "uniform", "nodes": 64, "design": "DM"},
+           "metrics": {"saturation_rate": 0.05}},
+          {"id": "uniform/n64/ODM",
+           "params": {"pattern": "uniform", "nodes": 64, "design": "ODM"},
+           "metrics": {"saturation_rate": 0.20}},
+          {"id": "uniform/n64/S2",
+           "params": {"pattern": "uniform", "nodes": 64, "design": "S2"},
+           "metrics": {"saturation_rate": 0.025}},
+          {"id": "uniform/n64/SF",
+           "params": {"pattern": "uniform", "nodes": 64, "design": "SF"},
+           "metrics": {"saturation_rate": 0.10}},
+          {"id": "tornado/n64/DM",
+           "params": {"pattern": "tornado", "nodes": 64, "design": "DM"},
+           "metrics": {"saturation_rate": 0.04}},
+          {"id": "tornado/n64/ODM",
+           "params": {"pattern": "tornado", "nodes": 64, "design": "ODM"},
+           "failed": true, "error": "boom",
+           "metrics": {}},
+          {"id": "tornado/n64/SF",
+           "params": {"pattern": "tornado", "nodes": 64, "design": "SF"},
+           "metrics": {"saturation_rate": 0.06}}
+        ]}
+      ]
+    })";
+}
+
+TEST(RenderThroughputVsDm, NormalisesEveryGroupAgainstItsDm)
+{
+    const Json report = Json::parse(fixtureReport());
+    const std::string table =
+        renderReportTable(report, "throughput-vs-dm");
+    // Header carries the design columns in first-appearance order.
+    EXPECT_NE(table.find("pattern/nodes"), std::string::npos);
+    EXPECT_NE(table.find("DM (=1.00)"), std::string::npos);
+    EXPECT_NE(table.find("SF vs DM"), std::string::npos);
+    // uniform/n64: 0.05 baseline -> 1.00, 4.00, 0.50, 2.00.
+    const auto uniform_pos = table.find("uniform/n64");
+    ASSERT_NE(uniform_pos, std::string::npos);
+    const std::string uniform_row = table.substr(
+        uniform_pos, table.find('\n', uniform_pos) - uniform_pos);
+    EXPECT_NE(uniform_row.find("1.00"), std::string::npos);
+    EXPECT_NE(uniform_row.find("4.00"), std::string::npos);
+    EXPECT_NE(uniform_row.find("0.50"), std::string::npos);
+    EXPECT_NE(uniform_row.find("2.00"), std::string::npos);
+    // tornado/n64: SF = 0.06/0.04 = 1.50; the failed ODM run is
+    // skipped, so its cell renders as the "-" placeholder.
+    const auto tornado_pos = table.find("tornado/n64");
+    ASSERT_NE(tornado_pos, std::string::npos);
+    const std::string tornado_row = table.substr(
+        tornado_pos, table.find('\n', tornado_pos) - tornado_pos);
+    EXPECT_NE(tornado_row.find("1.50"), std::string::npos);
+    EXPECT_NE(tornado_row.find("-"), std::string::npos);
+    // Groups render in report order: uniform before tornado.
+    EXPECT_LT(uniform_pos, tornado_pos);
+}
+
+TEST(RenderThroughputVsDm, ErrorPathsAreDiagnosed)
+{
+    // Unknown table name.
+    const Json report = Json::parse(fixtureReport());
+    EXPECT_THROW(renderReportTable(report, "energy-vs-afb"),
+                 std::runtime_error);
+    // Report without the source experiment.
+    const Json empty = Json::parse(
+        R"({"schema": "sf-exp-report-v1", "experiments": []})");
+    EXPECT_THROW(renderReportTable(empty, "throughput-vs-dm"),
+                 std::runtime_error);
+    // A group whose DM baseline is missing cannot normalise.
+    const Json no_dm = Json::parse(R"({
+      "experiments": [
+        {"name": "fig10_saturation", "runs": [
+          {"id": "uniform/n64/SF",
+           "params": {"pattern": "uniform", "nodes": 64, "design": "SF"},
+           "metrics": {"saturation_rate": 0.1}}
+        ]}
+      ]})");
+    EXPECT_THROW(renderReportTable(no_dm, "throughput-vs-dm"),
+                 std::runtime_error);
+}
+
+} // namespace

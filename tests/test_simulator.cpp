@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/string_figure.hpp"
 #include "exp/work_pool.hpp"
 #include "sim/simulator.hpp"
@@ -320,12 +322,25 @@ INSTANTIATE_TEST_SUITE_P(
  * structural audit (ReconfigEngine::checkInvariants) must also come
  * back clean — wire state, ring closures, and routing tables stay
  * consistent exactly when traffic is in flight.
+ *
+ * @p wavefront > 0 runs the identical scenario through the
+ * decide/commit wavefront scheduler (over a private pool of that
+ * width), so the audit also covers the buffered-effects engine —
+ * including its conservative removal classification on a gated
+ * topology, which this scenario exercises directly.
  */
-TEST(Network, ConservationInvariantAtEveryStep)
+void
+conservationInvariantAtEveryStep(int wavefront)
 {
     core::StringFigure topo(sfParams(64, 8));
     SimConfig cfg;
+    cfg.wavefront = wavefront;
     NetworkModel net(topo, cfg);
+    std::unique_ptr<exp::WorkPool> pool;
+    if (wavefront > 0) {
+        pool = std::make_unique<exp::WorkPool>(wavefront);
+        net.setWavefrontExecutor(pool.get());
+    }
     std::uint64_t dropped = 0;
     net.setDropHandler(
         [&](const Packet &, Cycle) { ++dropped; });
@@ -404,6 +419,16 @@ TEST(Network, ConservationInvariantAtEveryStep)
     EXPECT_EQ(final_acc.total(), 0u);
     EXPECT_EQ(final_acc.liveSlots, 0u);
     EXPECT_EQ(net.sourceQueueBacklog(), 0u);
+}
+
+TEST(Network, ConservationInvariantAtEveryStep)
+{
+    conservationInvariantAtEveryStep(0);
+}
+
+TEST(Network, ConservationInvariantAtEveryStepWavefront4)
+{
+    conservationInvariantAtEveryStep(4);
 }
 
 TEST(Reconfiguration, GatingDuringOperationDropsOnlyStrays)
